@@ -1,0 +1,128 @@
+// Command dfbench regenerates the tables and figures of the paper's
+// evaluation on the simulated machine and reports the shape checks.
+//
+// Usage:
+//
+//	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced input sizes")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,6,8,12,16)")
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	csvDir := flag.String("csv", "", "also write each experiment's rows and series as CSV files into this directory")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.SuiteConfig{Quick: *quick}
+	if *procsFlag != "" {
+		for _, part := range strings.Split(*procsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dfbench: bad -procs entry %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Procs = append(cfg.Procs, n)
+		}
+	}
+	var selected []bench.Experiment
+	if *runFlag == "" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			e, ok := bench.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	suite := bench.NewSuite(cfg)
+	failed := 0
+	for _, e := range selected {
+		rep, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		failed += len(rep.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dfbench: %d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+// writeCSV stores a report's table as <id>.csv and each series as
+// <id>_<series>.csv, for plotting.
+func writeCSV(dir string, rep *bench.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	if len(rep.Header) > 0 {
+		var b strings.Builder
+		cells := make([]string, len(rep.Header))
+		for i, h := range rep.Header {
+			cells[i] = esc(h)
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+		for _, row := range rep.Rows {
+			cells = cells[:0]
+			for _, c := range row {
+				cells = append(cells, esc(c))
+			}
+			b.WriteString(strings.Join(cells, ",") + "\n")
+		}
+		if err := os.WriteFile(filepath.Join(dir, rep.ID+".csv"), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, ser := range rep.Series {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s,%s\n", esc(rep.XLabel), esc(rep.YLabel))
+		for i := range ser.X {
+			fmt.Fprintf(&b, "%g,%g\n", ser.X[i], ser.Y[i])
+		}
+		name := rep.ID + "_" + strings.Map(func(r rune) rune {
+			if r == '/' || r == ' ' {
+				return '-'
+			}
+			return r
+		}, ser.Name) + ".csv"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

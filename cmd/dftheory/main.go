@@ -1,0 +1,68 @@
+// Command dftheory evaluates the §5 worst-case analysis: for a given
+// effective sampling interval S, number of policies N, overhead decay rate
+// λ and performance bound δ, it reports whether a production interval can
+// guarantee the bound, the feasible interval range (eq. 7), and the optimal
+// production interval P_opt (eq. 9).
+//
+// With no flags it uses the paper's running example (S=1, N=2, λ=0.065,
+// δ=0.5), for which P_opt ≈ 7.25.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/theory"
+)
+
+func main() {
+	s := flag.Float64("S", theory.Figure3Params.S, "effective sampling interval")
+	n := flag.Int("N", theory.Figure3Params.N, "number of policies")
+	lambda := flag.Float64("lambda", theory.Figure3Params.Lambda, "overhead decay rate")
+	delta := flag.Float64("delta", theory.Figure3Delta, "performance bound δ")
+	series := flag.Bool("series", false, "print the Figure 3 constraint series")
+	pmax := flag.Float64("pmax", 30, "series upper bound for P")
+	step := flag.Float64("step", 0.5, "series step")
+	flag.Parse()
+
+	p := theory.Params{S: *s, N: *n, Lambda: *lambda}
+	fmt.Printf("S=%g N=%d lambda=%g delta=%g\n", p.S, p.N, p.Lambda, *delta)
+
+	popt, err := p.POpt()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("P_opt = %.4f (eq. 9; minimizes the worst-case mean work deficit)\n", popt)
+	fmt.Printf("mean deficit at P_opt = %.4f work units per unit time (eq. 8)\n", p.MeanDeficit(popt))
+	if min, err := p.MinimalDelta(); err == nil {
+		fmt.Printf("smallest achievable bound: delta > %.4f\n", min)
+	}
+
+	lo, hi, err := p.FeasibleRegion(*delta)
+	switch {
+	case errors.Is(err, theory.ErrInfeasible):
+		fmt.Printf("no production interval satisfies the δ=%g bound: the overheads may change too fast (λ too large) relative to the sampling cost S·N\n", *delta)
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Printf("feasible production intervals for δ=%g: [%.4f, %.4f] (eq. 7)\n", *delta, lo, hi)
+	}
+
+	if *series {
+		pts, err := p.Figure3Series(*delta, 0, *pmax, *step)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("P, constraint LHS, bound RHS, feasible")
+		for _, pt := range pts {
+			fmt.Printf("%8.3f %12.5f %12.5f %v\n", pt.P, pt.LHS, pt.RHS, pt.Feasible)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dftheory:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command oblc compiles OBL programs and reports what the paper's compiler
+// would: the commutativity analysis results (which loops parallelize and
+// why the others do not), the per-policy transformed code (the Figure 1 →
+// Figure 2 view), the generated IR, and the Table 1 code-size accounting.
+//
+// Usage:
+//
+//	oblc [flags] file.obl
+//	oblc [flags] -app barneshut|water|string
+//
+// Flags select the outputs: -analysis, -policy original|bounded|aggressive,
+// -ir, -sizes, -sections. With no output flags, -analysis and -sections are
+// printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/obl/ast"
+	"repro/internal/obl/ir"
+	"repro/internal/obl/syncopt"
+	"repro/oblc"
+)
+
+func main() {
+	app := flag.String("app", "", "compile a bundled application (barneshut, water, string)")
+	showAnalysis := flag.Bool("analysis", false, "print commutativity analysis results")
+	policy := flag.String("policy", "", "print the program transformed under a policy (original, bounded, aggressive, flagged)")
+	showIR := flag.Bool("ir", false, "print the generated IR of the multi-version program")
+	showSizes := flag.Bool("sizes", false, "print the Table 1 code-size accounting")
+	showSections := flag.Bool("sections", false, "print the parallel sections and their versions")
+	showEffects := flag.Bool("effects", false, "print per-operation effect summaries (commutativity evidence)")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *app != "":
+		var err error
+		src, err = apps.Source(*app)
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: oblc [flags] file.obl | oblc [flags] -app name")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	c, err := oblc.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	anything := *showAnalysis || *policy != "" || *showIR || *showSizes || *showSections || *showEffects
+	if !anything {
+		*showAnalysis = true
+		*showSections = true
+	}
+
+	if *showEffects {
+		text, err := oblc.EffectSummaries(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== operation effect summaries ==")
+		fmt.Println(text)
+	}
+	if *showAnalysis {
+		fmt.Println("== commutativity analysis ==")
+		for _, rep := range c.Reports {
+			if rep.Parallel {
+				fmt.Printf("  %s: loop at %s PARALLEL as section %s (extent: %s)\n",
+					rep.Func, rep.Pos, rep.Section, strings.Join(rep.Extent, ", "))
+			} else {
+				fmt.Printf("  %s: loop at %s serial: %s\n", rep.Func, rep.Pos, rep.Reason)
+			}
+		}
+	}
+	if *showSections {
+		fmt.Println("== parallel sections ==")
+		for _, sec := range c.Parallel.Sections {
+			fmt.Printf("  %s (%d captured values):\n", sec.Name, sec.NCaptured)
+			for i, v := range sec.Versions {
+				fmt.Printf("    version %d [%s] -> %s (%d bytes)\n",
+					i, v.Label(), c.Parallel.Funcs[v.FuncID].Name,
+					c.Parallel.Funcs[v.FuncID].CodeBytes())
+			}
+		}
+	}
+	if *policy != "" {
+		var prog *ast.Program
+		if *policy == "flagged" {
+			prog = c.FlaggedAST
+		} else {
+			var ok bool
+			prog, ok = c.PolicyPrograms[syncopt.Policy(*policy)]
+			if !ok {
+				fatal(fmt.Errorf("unknown policy %q (want original, bounded, aggressive or flagged)", *policy))
+			}
+		}
+		fmt.Printf("== program under the %s policy ==\n", *policy)
+		fmt.Println(ast.Print(prog))
+	}
+	if *showIR {
+		fmt.Println("== multi-version IR ==")
+		for _, f := range c.Parallel.Funcs {
+			fmt.Println(ir.Disasm(f))
+		}
+	}
+	if *showSizes {
+		sz := c.Sizes()
+		fmt.Println("== code sizes (bytes) ==")
+		fmt.Printf("  serial:     %d\n", sz.Serial)
+		for _, p := range oblc.Policies() {
+			fmt.Printf("  %-10s  %d\n", p+":", sz.PerPolicy[p])
+		}
+		fmt.Printf("  dynamic:    %d\n", sz.Dynamic)
+		flagBytes := 0
+		for _, f := range c.Flagged.Funcs {
+			flagBytes += f.CodeBytes()
+		}
+		fmt.Printf("  flagged:    %d (%d conditional sites)\n", flagBytes, c.FlaggedSites)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oblc:", err)
+	os.Exit(1)
+}

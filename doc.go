@@ -1,0 +1,25 @@
+// Package repro is a reproduction of "Dynamic Feedback: An Effective
+// Technique for Adaptive Computing" (Pedro Diniz and Martin Rinard,
+// PLDI 1997).
+//
+// The repository contains:
+//
+//   - dynfb: a reusable real-time dynamic feedback library for Go programs
+//     (multi-version parallel sections over goroutines);
+//   - theory: the paper's §5 worst-case analysis (feasible production
+//     intervals and the optimal interval P_opt);
+//   - oblc: a parallelizing compiler for OBL, a small object-based language,
+//     implementing commutativity analysis, the three synchronization
+//     optimization policies (Original, Bounded, Aggressive), and
+//     multi-version code generation;
+//   - internal/simmach + internal/interp: a deterministic simulated
+//     multiprocessor standing in for the paper's 16-processor Stanford DASH,
+//     on which the evaluation runs;
+//   - internal/apps: the three benchmark applications (Barnes-Hut, Water,
+//     String) written in OBL;
+//   - internal/bench: experiment runners that regenerate every table and
+//     figure of the paper's evaluation (see bench_test.go and cmd/dfbench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,439 @@
+// Package dynfb is a reusable, real-time implementation of dynamic
+// feedback (Diniz & Rinard, PLDI 1997) for Go programs.
+//
+// Dynamic feedback lets a computation choose, at run time, among several
+// implementations ("variants") of the same parallel section. The generated
+// schedule alternately performs sampling phases — each variant runs for a
+// fixed target sampling interval while its overhead is measured — and
+// production phases, which run the variant with the least measured
+// overhead; the section periodically resamples to adapt to changes in the
+// environment.
+//
+// A Section distributes loop iterations [lo, hi) over a pool of workers.
+// Each completed iteration is a potential switch point: the worker polls
+// the clock, and when the current interval has expired all workers
+// rendezvous at a barrier and switch variants synchronously, so that every
+// measurement reflects exactly one variant (§4.1 of the paper). Overhead is
+// measured exactly as the paper specifies (§4.3): locking overhead (counted
+// instrumented mutex acquisitions times the calibrated cost of an
+// acquire/release pair), plus waiting overhead (time spent spinning on held
+// mutexes), divided by the total execution time.
+//
+// Typical use:
+//
+//	sec, _ := dynfb.NewSection(dynfb.Config{Workers: 8},
+//	    dynfb.Variant{Name: "fine", Body: fineGrained},
+//	    dynfb.Variant{Name: "coarse", Body: coarseGrained},
+//	)
+//	sec.Run(0, len(items))      // adaptively picks the best variant
+//
+// Variant bodies receive a Ctx whose Lock/Unlock operate on instrumented
+// spin mutexes (NewMutex); using them is what makes the overhead
+// measurement meaningful. Bodies may also add explicit overhead hints with
+// Ctx.AddOverhead for non-lock-based costs.
+package dynfb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CutoffComponent re-exports the early cut-off components of §4.5.
+type CutoffComponent int
+
+// Cutoff components: a variant whose declared component measures near zero
+// during its sample cannot be significantly beaten, so the sampling phase
+// stops early (requires Config.EarlyCutoff).
+const (
+	CutoffNone    = CutoffComponent(core.CutoffNone)
+	CutoffLocking = CutoffComponent(core.CutoffLocking)
+	CutoffWaiting = CutoffComponent(core.CutoffWaiting)
+)
+
+// Variant is one implementation of the section body.
+type Variant struct {
+	// Name identifies the variant in reports.
+	Name string
+	// Body executes one iteration. It must be safe for concurrent
+	// invocation from multiple workers.
+	Body func(ctx *Ctx, iter int)
+	// Cutoff optionally declares the §4.5 early cut-off component.
+	Cutoff CutoffComponent
+}
+
+// Config parameterizes a Section.
+type Config struct {
+	// Workers is the number of worker goroutines. Default GOMAXPROCS.
+	Workers int
+	// TargetSampling is the target sampling interval. Default 10ms.
+	TargetSampling time.Duration
+	// TargetProduction is the target production interval. Default 10s.
+	TargetProduction time.Duration
+	// EarlyCutoff enables the §4.5 early cut-off.
+	EarlyCutoff bool
+	// OrderByHistory samples the previous winner first and skips the rest
+	// of the sampling phase while it stays acceptable (§4.5).
+	OrderByHistory bool
+	// SpanExecutions lets sampling and production intervals span multiple
+	// Run calls (§4.4 extension) instead of resampling at every Run.
+	SpanExecutions bool
+	// AutoTuneProduction retunes the production interval at each production
+	// entry using the §5 analysis over the observed history (eq. 9).
+	AutoTuneProduction bool
+	// LockPairCost overrides the calibrated cost of one uncontended
+	// acquire/release pair, used to convert acquisition counts into
+	// locking overhead time. Zero means calibrate at section creation.
+	LockPairCost time.Duration
+}
+
+// Sample is one completed measurement interval.
+type Sample struct {
+	Kind            string // "sampling", "production" or "partial"
+	Variant         int
+	Name            string
+	Start, End      time.Duration // offsets from section creation
+	Overhead        float64
+	LockingOverhead float64
+	WaitingOverhead float64
+}
+
+// Stats summarizes one variant's history.
+type Stats struct {
+	Name         string
+	TimesSampled int
+	TimesChosen  int
+	MeanOverhead float64
+	LastOverhead float64
+}
+
+// Mutex is an instrumented spin lock. It must be created by
+// Section.NewMutex and locked through Ctx.Lock so acquisitions and
+// spinning are charged to the measuring worker.
+type Mutex struct {
+	state int32
+}
+
+// meter accumulates one worker's instrumentation for the current phase
+// (§4.3). Only that worker writes it between barriers.
+type meter struct {
+	acquires int64
+	fails    int64
+	waitNs   int64
+	busyNs   int64
+	extraNs  int64
+	_        [2]int64 // pad to reduce false sharing
+}
+
+// Ctx is the per-worker context passed to variant bodies.
+type Ctx struct {
+	// Worker is the worker index, in [0, Workers).
+	Worker int
+	m      *meter
+}
+
+// Lock acquires m, spinning if necessary and charging failed attempts and
+// waiting time to the measurement (§4.3's waiting overhead).
+func (c *Ctx) Lock(m *Mutex) {
+	if atomic.CompareAndSwapInt32(&m.state, 0, 1) {
+		c.m.acquires++
+		return
+	}
+	start := time.Now()
+	spins := 0
+	for {
+		if atomic.LoadInt32(&m.state) == 0 && atomic.CompareAndSwapInt32(&m.state, 0, 1) {
+			break
+		}
+		c.m.fails++
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+	c.m.acquires++
+	c.m.waitNs += time.Since(start).Nanoseconds()
+}
+
+// Unlock releases m.
+func (c *Ctx) Unlock(m *Mutex) {
+	atomic.StoreInt32(&m.state, 0)
+}
+
+// AddOverhead charges d of explicit overhead to the current measurement,
+// for costs that are not expressed through instrumented locks (e.g. retry
+// loops, redundant recomputation).
+func (c *Ctx) AddOverhead(d time.Duration) {
+	c.m.extraNs += d.Nanoseconds()
+}
+
+// Section is a multi-variant parallel section driven by dynamic feedback.
+type Section struct {
+	cfg      Config
+	variants []Variant
+	ctl      *core.Controller
+	epoch    time.Time
+	pairCost time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      uint64
+	current  int32 // active variant index
+	deadline int64 // current phase deadline, nanoseconds since epoch
+	next     int64 // iteration claim counter
+	hi       int64
+	done     bool
+
+	meters []meter
+	snaps  []meter
+}
+
+// NewSection creates a section with the given variants.
+func NewSection(cfg Config, variants ...Variant) (*Section, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("dynfb: at least one variant is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TargetSampling <= 0 {
+		cfg.TargetSampling = 10 * time.Millisecond
+	}
+	if cfg.TargetProduction <= 0 {
+		cfg.TargetProduction = 10 * time.Second
+	}
+	policies := make([]core.PolicyInfo, len(variants))
+	for i, v := range variants {
+		if v.Body == nil {
+			return nil, fmt.Errorf("dynfb: variant %d (%s) has no body", i, v.Name)
+		}
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("variant%d", i)
+		}
+		policies[i] = core.PolicyInfo{Name: name, Cutoff: core.CutoffComponent(v.Cutoff)}
+	}
+	ctl, err := core.NewController(core.Config{
+		Policies:           policies,
+		TargetSampling:     core.Nanos(cfg.TargetSampling),
+		TargetProduction:   core.Nanos(cfg.TargetProduction),
+		EarlyCutoff:        cfg.EarlyCutoff,
+		OrderByHistory:     cfg.OrderByHistory,
+		SpanExecutions:     cfg.SpanExecutions,
+		AutoTuneProduction: cfg.AutoTuneProduction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dynfb: %w", err)
+	}
+	s := &Section{
+		cfg:      cfg,
+		variants: variants,
+		ctl:      ctl,
+		epoch:    time.Now(),
+		pairCost: cfg.LockPairCost,
+		meters:   make([]meter, cfg.Workers),
+		snaps:    make([]meter, cfg.Workers),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if s.pairCost <= 0 {
+		s.pairCost = calibrateLockPair()
+	}
+	return s, nil
+}
+
+// calibrateLockPair times uncontended instrumented lock/unlock pairs.
+func calibrateLockPair() time.Duration {
+	var m Mutex
+	ctx := &Ctx{m: &meter{}}
+	const n = 4096
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ctx.Lock(&m)
+		ctx.Unlock(&m)
+	}
+	d := time.Since(start) / n
+	if d <= 0 {
+		d = 20 * time.Nanosecond
+	}
+	return d
+}
+
+// NewMutex creates an instrumented mutex.
+func NewMutex() *Mutex { return &Mutex{} }
+
+// NewMutex creates an instrumented mutex (convenience method).
+func (s *Section) NewMutex() *Mutex { return NewMutex() }
+
+// now returns the controller clock (nanoseconds since section creation).
+func (s *Section) now() core.Nanos { return core.Nanos(time.Since(s.epoch)) }
+
+// Run executes iterations [lo, hi) across the configured workers, choosing
+// variants by dynamic feedback. It blocks until every iteration has
+// completed. Run must not be called concurrently with itself on the same
+// Section.
+func (s *Section) Run(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	atomic.StoreInt64(&s.next, int64(lo))
+	s.hi = int64(hi)
+	s.done = false
+	s.arrived = 0
+	s.ctl.BeginExecution(s.now())
+	atomic.StoreInt32(&s.current, int32(s.ctl.CurrentPolicy()))
+	atomic.StoreInt64(&s.deadline, int64(s.ctl.Deadline()))
+	for i := range s.meters {
+		s.meters[i] = meter{}
+		s.snaps[i] = meter{}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// worker claims and executes iterations until the section completes.
+func (s *Section) worker(w int) {
+	ctx := &Ctx{Worker: w, m: &s.meters[w]}
+	for {
+		i := atomic.AddInt64(&s.next, 1) - 1
+		if i >= s.hi {
+			if s.rendezvous(w) {
+				return
+			}
+			continue
+		}
+		variant := s.variants[atomic.LoadInt32(&s.current)]
+		start := time.Now()
+		variant.Body(ctx, int(i))
+		ctx.m.busyNs += time.Since(start).Nanoseconds()
+		// Potential switch point: poll the clock and test for interval
+		// expiration (§4.1). The deadline is cached atomically so polling
+		// never races with the controller transition under s.mu.
+		if int64(s.now()) >= atomic.LoadInt64(&s.deadline) {
+			if s.rendezvous(w) {
+				return
+			}
+		}
+	}
+}
+
+// rendezvous implements the synchronous switch barrier. The last worker to
+// arrive performs the controller transition; the return value reports
+// whether the section is complete.
+func (s *Section) rendezvous(w int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.gen
+	s.arrived++
+	if s.arrived == s.cfg.Workers {
+		s.arrived = 0
+		s.gen++
+		now := s.now()
+		if atomic.LoadInt64(&s.next) >= s.hi {
+			s.ctl.EndExecution(now, s.phaseDelta())
+			s.done = true
+		} else {
+			s.ctl.CompletePhase(now, s.phaseDelta())
+			atomic.StoreInt32(&s.current, int32(s.ctl.CurrentPolicy()))
+			atomic.StoreInt64(&s.deadline, int64(s.ctl.Deadline()))
+		}
+		s.cond.Broadcast()
+		return s.done
+	}
+	for gen == s.gen {
+		s.cond.Wait()
+	}
+	return s.done
+}
+
+// phaseDelta aggregates the workers' instrumentation since the last phase
+// boundary and resets the snapshots (§4.3).
+func (s *Section) phaseDelta() core.Measurement {
+	var m core.Measurement
+	for i := range s.meters {
+		cur := s.meters[i]
+		prev := s.snaps[i]
+		acq := cur.acquires - prev.acquires
+		m.Acquires += acq
+		m.FailedAcquires += cur.fails - prev.fails
+		m.LockTime += core.Nanos(acq*s.pairCost.Nanoseconds() + (cur.extraNs - prev.extraNs))
+		m.WaitTime += core.Nanos(cur.waitNs - prev.waitNs)
+		m.ExecTime += core.Nanos(cur.busyNs - prev.busyNs)
+		s.snaps[i] = cur
+	}
+	return m
+}
+
+// Current returns the index of the variant the section would run now.
+func (s *Section) Current() int { return int(atomic.LoadInt32(&s.current)) }
+
+// BestKnown returns the variant the controller currently believes best.
+func (s *Section) BestKnown() int { return s.ctl.BestKnownPolicy() }
+
+// LastChosen returns the variant most recently selected for a production
+// phase, and whether any production phase has run yet. Unlike BestKnown it
+// is not perturbed by a sampling round in progress.
+func (s *Section) LastChosen() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctl.LastWinner()
+}
+
+// RecommendedProduction derives a production interval from the section's
+// observed history using the paper's §5 analysis: the overhead drift rate
+// is estimated from the samples, and eq. 9 gives the interval that
+// minimizes the worst-case work deficit. The second result is false while
+// the history is too thin.
+func (s *Section) RecommendedProduction() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.ctl.RecommendProduction()
+	return time.Duration(n), ok
+}
+
+// Samples returns the measurement history.
+func (s *Section) Samples() []Sample {
+	var out []Sample
+	for _, c := range s.ctl.Samples() {
+		out = append(out, Sample{
+			Kind:            kindName(c.Kind),
+			Variant:         c.Policy,
+			Name:            s.ctl.PolicyName(c.Policy),
+			Start:           time.Duration(c.Start),
+			End:             time.Duration(c.End),
+			Overhead:        c.Overhead,
+			LockingOverhead: c.Meas.LockingOverhead(),
+			WaitingOverhead: c.Meas.WaitingOverhead(),
+		})
+	}
+	return out
+}
+
+func kindName(k core.SampleKind) string { return k.String() }
+
+// VariantStats returns per-variant aggregates.
+func (s *Section) VariantStats() []Stats {
+	cs := s.ctl.Stats()
+	out := make([]Stats, len(cs))
+	for i, c := range cs {
+		out[i] = Stats{
+			Name:         s.ctl.PolicyName(i),
+			TimesSampled: c.TimesSampled,
+			TimesChosen:  c.TimesChosen,
+			MeanOverhead: c.MeanOverhead(),
+			LastOverhead: c.LastOverhead,
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package dynfb_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/dynfb"
+)
+
+// The basic pattern: give a parallel section several variants of its body
+// and let dynamic feedback pick the one with the least measured overhead.
+func ExampleNewSection() {
+	results := make([]int, 1000)
+	double := func(ctx *dynfb.Ctx, i int) { results[i] = i * 2 }
+	shift := func(ctx *dynfb.Ctx, i int) { results[i] = i << 1 }
+
+	sec, err := dynfb.NewSection(dynfb.Config{
+		Workers:          2,
+		TargetSampling:   time.Millisecond,
+		TargetProduction: 100 * time.Millisecond,
+	},
+		dynfb.Variant{Name: "multiply", Body: double},
+		dynfb.Variant{Name: "shift", Body: shift},
+	)
+	if err != nil {
+		panic(err)
+	}
+	sec.Run(0, len(results))
+	fmt.Println(results[21])
+	// Output: 42
+}
+
+// Instrumented mutexes make the overhead measurement meaningful: lock
+// acquisitions and spinning are charged to the variant that performs them.
+func ExampleCtx_Lock() {
+	mu := dynfb.NewMutex()
+	total := 0
+	sec, err := dynfb.NewSection(dynfb.Config{Workers: 4},
+		dynfb.Variant{Name: "locked-sum", Body: func(ctx *dynfb.Ctx, i int) {
+			ctx.Lock(mu)
+			total += i
+			ctx.Unlock(mu)
+		}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	sec.Run(0, 100)
+	fmt.Println(total)
+	// Output: 4950
+}
+
+// AddOverhead reports costs that are not expressed through locks, letting
+// the controller compare algorithmic variants (§1's "the best algorithm
+// depends on the input").
+func ExampleCtx_AddOverhead() {
+	sec, err := dynfb.NewSection(dynfb.Config{
+		Workers:          1,
+		TargetSampling:   time.Millisecond,
+		TargetProduction: time.Hour,
+	},
+		dynfb.Variant{Name: "wasteful", Body: func(ctx *dynfb.Ctx, i int) {
+			ctx.AddOverhead(100 * time.Microsecond) // redundant recomputation
+		}},
+		dynfb.Variant{Name: "lean", Body: func(ctx *dynfb.Ctx, i int) {}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	sec.Run(0, 100000)
+	stats := sec.VariantStats()
+	fmt.Println(stats[sec.BestKnown()].Name)
+	// Output: lean
+}

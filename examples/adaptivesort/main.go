@@ -1,0 +1,157 @@
+// Adaptive algorithm selection: "the best algorithm to solve a given
+// problem often depends on the combination of input and hardware platform"
+// (§1 of the paper). The program sorts a stream of chunks whose character
+// changes over time — first nearly-sorted, then adversarially shuffled.
+// Two sort variants compete:
+//
+//   - insertion: linear on nearly-sorted data, quadratic on random data
+//   - heapsort:  n·log n regardless
+//
+// Each variant reports its wasted effort through Ctx.AddOverhead (extra
+// comparisons beyond the input size), so the dynamic feedback controller
+// can pick the right algorithm for the current regime — and switch when
+// the input character changes, thanks to periodic resampling.
+//
+// Run with:
+//
+//	go run ./examples/adaptivesort
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/dynfb"
+)
+
+const (
+	chunkLen  = 256
+	numChunks = 4000
+)
+
+func makeChunk(i int, shuffled bool) []int {
+	chunk := make([]int, chunkLen)
+	for j := range chunk {
+		chunk[j] = j
+	}
+	if shuffled {
+		state := uint64(i*2654435761 + 12345)
+		for j := chunkLen - 1; j > 0; j-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			k := int(state>>33) % (j + 1)
+			chunk[j], chunk[k] = chunk[k], chunk[j]
+		}
+	} else if i%8 == 0 && chunkLen > 2 {
+		chunk[0], chunk[1] = chunk[1], chunk[0] // nearly sorted
+	}
+	return chunk
+}
+
+// insertion sorts and returns the number of element moves (its effort).
+func insertion(a []int) int {
+	moves := 0
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+			moves++
+		}
+		a[j+1] = v
+	}
+	return moves
+}
+
+// heapsort sorts and returns the number of sift steps (its effort).
+func heapsort(a []int) int {
+	steps := 0
+	n := len(a)
+	sift := func(lo, hi int) {
+		root := lo
+		for {
+			child := 2*root + 1
+			if child >= hi {
+				return
+			}
+			if child+1 < hi && a[child] < a[child+1] {
+				child++
+			}
+			if a[root] >= a[child] {
+				return
+			}
+			a[root], a[child] = a[child], a[root]
+			root = child
+			steps++
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		sift(0, i)
+	}
+	return steps
+}
+
+func main() {
+	var shuffled bool // the "environment"; flips halfway
+
+	// Effort beyond ~n is wasted work: report it as overhead so the
+	// controller can compare the algorithms on equal terms.
+	const nsPerStep = 3
+	mkVariant := func(name string, sort func([]int) int) dynfb.Variant {
+		return dynfb.Variant{Name: name, Body: func(ctx *dynfb.Ctx, i int) {
+			chunk := makeChunk(i, shuffled)
+			effort := sort(chunk)
+			if waste := effort - chunkLen; waste > 0 {
+				ctx.AddOverhead(time.Duration(waste*nsPerStep) * time.Nanosecond)
+			}
+		}}
+	}
+
+	sec, err := dynfb.NewSection(dynfb.Config{
+		TargetSampling:   3 * time.Millisecond,
+		TargetProduction: 30 * time.Millisecond,
+		SpanExecutions:   true, // keep adapting across Run calls
+	},
+		mkVariant("insertion", insertion),
+		mkVariant("heapsort", heapsort),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	report := func(regime string) {
+		idx, ok := sec.LastChosen()
+		if !ok {
+			fmt.Printf("%-22s -> no production phase yet\n", regime)
+			return
+		}
+		fmt.Printf("%-22s -> best algorithm: %s\n", regime, sec.VariantStats()[idx].Name)
+	}
+
+	// Regime 1: nearly-sorted chunks. Insertion sort should win.
+	for round := 0; round < 12; round++ {
+		sec.Run(0, numChunks)
+	}
+	report("nearly-sorted input")
+
+	// Regime 2: shuffled chunks. Heapsort should take over after the next
+	// resampling rounds.
+	shuffled = true
+	for round := 0; round < 12; round++ {
+		sec.Run(0, numChunks)
+	}
+	report("shuffled input")
+
+	if rec, ok := sec.RecommendedProduction(); ok {
+		fmt.Printf("eq. 9 recommends a production interval of ~%v for this drift rate\n", rec.Round(time.Millisecond))
+	}
+	fmt.Println("variant history:")
+	for _, st := range sec.VariantStats() {
+		fmt.Printf("  %-10s sampled %d×, chosen %d×, mean overhead %.4f\n",
+			st.Name, st.TimesSampled, st.TimesChosen, st.MeanOverhead)
+	}
+}

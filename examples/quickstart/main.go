@@ -1,0 +1,78 @@
+// Quickstart: the smallest useful dynamic feedback program.
+//
+// A histogram is filled in parallel under two locking disciplines: one
+// global mutex (cheap to acquire once, contended) versus one mutex per
+// bucket (more acquisitions, no contention). Which is faster depends on
+// the machine and the key distribution — so instead of choosing statically,
+// the section samples both and runs the winner.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/dynfb"
+)
+
+const (
+	buckets = 64
+	items   = 200_000
+)
+
+func main() {
+	histGlobal := make([]int, buckets)
+	histSharded := make([]int, buckets)
+
+	global := dynfb.NewMutex()
+	shard := make([]*dynfb.Mutex, buckets)
+	for i := range shard {
+		shard[i] = dynfb.NewMutex()
+	}
+
+	key := func(i int) int { return (i*2654435761 + 7) % buckets }
+
+	// Both variants compute the same histogram; only the synchronization
+	// discipline differs.
+	variants := []dynfb.Variant{
+		{Name: "global-lock", Body: func(ctx *dynfb.Ctx, i int) {
+			k := key(i)
+			ctx.Lock(global)
+			histGlobal[k]++
+			ctx.Unlock(global)
+		}},
+		{Name: "per-bucket", Body: func(ctx *dynfb.Ctx, i int) {
+			k := key(i)
+			ctx.Lock(shard[k])
+			histSharded[k]++
+			ctx.Unlock(shard[k])
+		}},
+	}
+	sec, err := dynfb.NewSection(dynfb.Config{
+		TargetSampling:   5 * time.Millisecond,
+		TargetProduction: 200 * time.Millisecond,
+	}, variants...)
+	if err != nil {
+		panic(err)
+	}
+
+	sec.Run(0, items)
+
+	total := 0
+	for k := 0; k < buckets; k++ {
+		total += histGlobal[k] + histSharded[k]
+	}
+	fmt.Printf("filled %d entries (histograms are split across variants)\n", total)
+	fmt.Println("measurement history:")
+	for _, s := range sec.Samples() {
+		fmt.Printf("  %-10s %-12s overhead=%.4f (locking %.4f, waiting %.4f)\n",
+			s.Kind, s.Name, s.Overhead, s.LockingOverhead, s.WaitingOverhead)
+	}
+	for _, st := range sec.VariantStats() {
+		fmt.Printf("variant %-12s sampled %d times, chosen %d times, mean overhead %.4f\n",
+			st.Name, st.TimesSampled, st.TimesChosen, st.MeanOverhead)
+	}
+}

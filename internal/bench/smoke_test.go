@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+func TestQuickSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow harness smoke test; run without -short")
+	}
+	s := NewSuite(SuiteConfig{Quick: true, Procs: []int{1, 4, 8}})
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failed() {
+				t.Errorf("shape check failed: %s", f)
+			}
+		})
+	}
+}

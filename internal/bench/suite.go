@@ -1,0 +1,342 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) plus the §5 theory figure, on the simulated machine. Each
+// experiment produces a Report containing the same rows or series the paper
+// reports, together with shape checks: assertions that the qualitative
+// claims hold (who wins, by roughly what factor, where the crossovers are),
+// since absolute numbers come from a scaled-down simulated substrate.
+//
+// cmd/dfbench prints the reports; bench_test.go at the repository root runs
+// one benchmark per experiment.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/simmach"
+	"repro/oblc"
+)
+
+// SuiteConfig configures an experiment run.
+type SuiteConfig struct {
+	// Quick shrinks the inputs (roughly 4× fewer operations) for fast runs.
+	Quick bool
+	// Procs lists the processor counts for the execution-time tables.
+	// Default is the paper's: 1, 2, 4, 6, 8, 12, 16.
+	Procs []int
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if len(c.Procs) == 0 {
+		c.Procs = []int{1, 2, 4, 6, 8, 12, 16}
+	}
+	return c
+}
+
+// ShapeCheck is one qualitative assertion about an experiment's outcome.
+type ShapeCheck struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+	Checks []ShapeCheck
+}
+
+// Failed returns the names of failed shape checks.
+func (r *Report) Failed() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c.Name+": "+c.Detail)
+		}
+	}
+	return out
+}
+
+// check appends a shape check.
+func (r *Report) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, ShapeCheck{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Format renders the report as text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+			b.WriteString("\n")
+		}
+		writeRow(r.Header)
+		writeRow(dashes(widths))
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "series %q (%s vs %s):\n", s.Name, r.XLabel, r.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %10.4f  %10.6f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Suite caches compiled applications and simulation runs across
+// experiments, since several tables and figures share the same executions.
+type Suite struct {
+	cfg      SuiteConfig
+	compiled map[string]*oblc.Compiled
+	runs     map[string]*interp.Result
+}
+
+// NewSuite creates a Suite.
+func NewSuite(cfg SuiteConfig) *Suite {
+	return &Suite{
+		cfg:      cfg.withDefaults(),
+		compiled: map[string]*oblc.Compiled{},
+		runs:     map[string]*interp.Result{},
+	}
+}
+
+// Config returns the (defaulted) suite configuration.
+func (s *Suite) Config() SuiteConfig { return s.cfg }
+
+// App returns the compiled application, compiling on first use.
+func (s *Suite) App(name string) (*oblc.Compiled, error) {
+	if c, ok := s.compiled[name]; ok {
+		return c, nil
+	}
+	c, err := apps.Compile(name)
+	if err != nil {
+		return nil, err
+	}
+	s.compiled[name] = c
+	return c, nil
+}
+
+// Params returns the experiment input parameters for an application,
+// shrunk in Quick mode.
+func (s *Suite) Params(name string) map[string]int64 {
+	p := apps.BenchParams(name)
+	if !s.cfg.Quick {
+		return p
+	}
+	out := make(map[string]int64, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	// Shrink the iteration counts but keep the per-iteration structure
+	// (interaction list and path lengths), so locking-to-computation
+	// ratios — and therefore the policy shapes — are preserved.
+	switch name {
+	case apps.NameBarnesHut:
+		out["nbodies"] /= 4
+	case apps.NameWater:
+		out["nmol"] /= 2
+	case apps.NameString:
+		out["nrays"] /= 4
+	}
+	return out
+}
+
+// Run executes (with memoization) an application on the simulated machine.
+func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
+	key := fmt.Sprintf("%s|%d|%s|%d|%d|%v%v%v%v%v|%d", name, opts.Procs, opts.Policy,
+		opts.TargetSampling, opts.TargetProduction,
+		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
+		opts.AutoTuneProduction, opts.InstrumentationCost)
+	if r, ok := s.runs[key]; ok {
+		return r, nil
+	}
+	c, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	opts.Params = s.Params(name)
+	r, err := interp.Run(c.Parallel, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s %s/%d: %w", name, opts.Policy, opts.Procs, err)
+	}
+	s.runs[key] = r
+	return r, nil
+}
+
+// RunSerial executes the serial baseline.
+func (s *Suite) RunSerial(name string) (*interp.Result, error) {
+	key := name + "|serial"
+	if r, ok := s.runs[key]; ok {
+		return r, nil
+	}
+	c, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := interp.Run(c.Serial, interp.Options{Params: s.Params(name)})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s serial: %w", name, err)
+	}
+	s.runs[key] = r
+	return r, nil
+}
+
+// section finds a section's stats in a result.
+func section(res *interp.Result, name string) *interp.SectionStats {
+	for _, sec := range res.Sections {
+		if sec.Name == name {
+			return sec
+		}
+	}
+	return nil
+}
+
+// Experiment is one table or figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Suite) (*Report, error)
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Executable code sizes (bytes)", Table1},
+		{"table2", "Execution times for Barnes-Hut (virtual seconds)", Table2},
+		{"figure4", "Speedups for Barnes-Hut", Figure4},
+		{"table3", "Locking overhead for Barnes-Hut", Table3},
+		{"figure5", "Sampled overhead for the Barnes-Hut FORCES section (8 procs)", Figure5},
+		{"table4", "Statistics for the Barnes-Hut FORCES section", Table4},
+		{"table5", "Mean minimum effective sampling intervals, FORCES (8 procs)", Table5},
+		{"table6", "Mean times for varying intervals, FORCES (8 procs)", Table6},
+		{"table7", "Execution times for Water (virtual seconds)", Table7},
+		{"figure6", "Speedups for Water", Figure6},
+		{"table8", "Locking overhead for Water", Table8},
+		{"figure7", "Waiting proportion for Water", Figure7},
+		{"figure8", "Sampled overhead for the Water INTERF section (8 procs)", Figure8},
+		{"figure9", "Sampled overhead for the Water POTENG section (8 procs)", Figure9},
+		{"table9", "Statistics for the Water INTERF section", Table9},
+		{"table10", "Statistics for the Water POTENG section", Table10},
+		{"table11", "Mean minimum effective sampling intervals, INTERF (8 procs)", Table11},
+		{"table12", "Mean minimum effective sampling intervals, POTENG (8 procs)", Table12},
+		{"table13", "Mean times for varying intervals, INTERF (8 procs)", Table13},
+		{"table14", "Mean times for varying intervals, POTENG (8 procs)", Table14},
+		{"figure3", "Feasible region for the production interval (theory, §5)", Figure3},
+		{"eq9", "Optimal production interval P_opt (theory, §5)", Eq9},
+		{"string", "String application suite (§6.3; source text unavailable, structural reproduction)", StringSuite},
+		{"ablation-async", "Ablation: asynchronous vs synchronous switching", AblationAsyncSwitch},
+		{"ablation-cutoff", "Ablation: early cut-off and policy ordering (§4.5)", AblationEarlyCutoff},
+		{"ablation-span", "Ablation: intervals spanning section executions (§4.4)", AblationSpanning},
+		{"ablation-instr", "Ablation: instrumentation overhead (§4.3)", AblationInstrumentation},
+		{"ablation-flags", "Ablation: multi-version vs flag-dispatch codegen (§4.2)", AblationFlagDispatch},
+		{"ablation-autotune", "Ablation: run-time production-interval tuning (§5 closed loop)", AblationAutoTune},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentIDs lists all experiment IDs.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+func fsec(t simmach.Time) string { return fmt.Sprintf("%.3f", t.Seconds()) }
+
+func fms(t simmach.Time) string {
+	return fmt.Sprintf("%.2f", float64(t)/float64(simmach.Millisecond))
+}
+
+// meanSampleInterval computes, per version label, the mean length of
+// sampling intervals in a section's history.
+func meanSampleInterval(sec *interp.SectionStats) map[string]simmach.Time {
+	sums := map[string]simmach.Time{}
+	counts := map[string]int{}
+	for _, smp := range sec.Samples {
+		if smp.Kind != "sampling" {
+			continue
+		}
+		sums[smp.Label] += smp.End - smp.Start
+		counts[smp.Label]++
+	}
+	out := map[string]simmach.Time{}
+	for k, v := range sums {
+		out[k] = v / simmach.Time(counts[k])
+	}
+	return out
+}
+
+// sortedKeys returns map keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

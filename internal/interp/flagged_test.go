@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/simmach"
+)
+
+// TestFlaggedEquivalence is the defining property of the §4.2 flag-dispatch
+// single-version mode: under every policy, the flagged program must perform
+// exactly the same lock acquisitions and compute exactly the same results
+// as the corresponding version of the multi-version program. Only the
+// timing differs (residual flag-test overhead).
+func TestFlaggedEquivalence(t *testing.T) {
+	for _, name := range apps.Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := apps.Compile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := apps.TestParams(name)
+			for _, policy := range []string{"original", "bounded", "aggressive"} {
+				for _, procs := range []int{1, 4} {
+					multi, err := Run(c.Parallel, Options{Procs: procs, Policy: policy, Params: params})
+					if err != nil {
+						t.Fatalf("multi %s/%d: %v", policy, procs, err)
+					}
+					flag, err := Run(c.Flagged, Options{Procs: procs, Policy: policy, Params: params})
+					if err != nil {
+						t.Fatalf("flagged %s/%d: %v", policy, procs, err)
+					}
+					if got, want := flag.Counters.Acquires, multi.Counters.Acquires; got != want {
+						t.Errorf("%s/%d: flagged acquires %d, multi-version %d", policy, procs, got, want)
+					}
+					if len(flag.Output) != len(multi.Output) {
+						t.Fatalf("%s/%d: outputs differ in length", policy, procs)
+					}
+					for i := range multi.Output {
+						if flag.Output[i] != multi.Output[i] {
+							// Reductions may reassociate across schedules;
+							// require equality only at 1 processor where the
+							// schedule is serial per version.
+							if procs == 1 {
+								t.Errorf("%s/%d: output[%d] = %s, want %s",
+									policy, procs, i, flag.Output[i], multi.Output[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlaggedNoCodeGrowth verifies the paper's claimed advantage: the
+// flag-dispatch build has a single version of every function (no unsync
+// variants, no per-policy bodies), so its footprint stays near the
+// single-policy builds.
+func TestFlaggedNoCodeGrowth(t *testing.T) {
+	for _, name := range apps.Names {
+		c, err := apps.Compile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range c.Flagged.Funcs {
+			if strings.Contains(f.Name, "__unsync") {
+				t.Errorf("%s: flagged program contains unsync variant %s", name, f.Name)
+			}
+		}
+		// Every section has exactly one body function.
+		for _, sec := range c.Flagged.Sections {
+			body := sec.Versions[0].FuncID
+			for _, v := range sec.Versions {
+				if v.FuncID != body {
+					t.Errorf("%s %s: versions use different bodies", name, sec.Name)
+				}
+				if v.Flags == nil {
+					t.Errorf("%s %s: version %v has no flags", name, sec.Name, v.Policies)
+				}
+			}
+		}
+		// The flagged build must be smaller than the multi-version build.
+		flaggedBytes := 0
+		for _, f := range c.Flagged.Funcs {
+			flaggedBytes += f.CodeBytes()
+		}
+		multiBytes := 0
+		for _, f := range c.Parallel.Funcs {
+			multiBytes += f.CodeBytes()
+		}
+		if flaggedBytes >= multiBytes {
+			t.Errorf("%s: flagged %dB not smaller than multi-version %dB", name, flaggedBytes, multiBytes)
+		}
+		if c.FlaggedSites <= 0 {
+			t.Errorf("%s: no conditional sites recorded", name)
+		}
+	}
+}
+
+// TestFlaggedVersionMerging mirrors the §6.2 merges: sections where two
+// policies generate identical placements must share a flag vector on the
+// sites the section reaches.
+func TestFlaggedVersionMerging(t *testing.T) {
+	c, err := apps.Compile(apps.NameWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range c.Flagged.Sections {
+		switch sec.Name {
+		case "INTERF":
+			if sec.PolicyVersion["bounded"] != sec.PolicyVersion["aggressive"] {
+				t.Errorf("INTERF: bounded and aggressive flag-versions differ")
+			}
+		case "POTENG":
+			if sec.PolicyVersion["original"] != sec.PolicyVersion["bounded"] {
+				t.Errorf("POTENG: original and bounded flag-versions differ")
+			}
+			if sec.PolicyVersion["aggressive"] == sec.PolicyVersion["original"] {
+				t.Errorf("POTENG: aggressive wrongly merged with original")
+			}
+		}
+	}
+}
+
+// TestFlaggedDynamicFeedback runs dynamic feedback over the flag-dispatch
+// build: switching policies is just switching flag vectors.
+func TestFlaggedDynamicFeedback(t *testing.T) {
+	c, err := apps.Compile(apps.NameWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c.Flagged, Options{
+		Procs: 8, Policy: PolicyDynamic, Params: apps.TestParams(apps.NameWater),
+		TargetSampling: simmach.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sections) != 2 {
+		t.Fatalf("sections = %d", len(res.Sections))
+	}
+	for _, sec := range res.Sections {
+		if len(sec.Samples) == 0 {
+			t.Errorf("%s: no samples", sec.Name)
+		}
+	}
+	// Results must match the serial baseline.
+	sres, err := Run(c.Serial, Options{Params: apps.TestParams(apps.NameWater)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != len(sres.Output) {
+		t.Fatalf("output length mismatch")
+	}
+}
+
+// TestFlaggedDispatchOverhead quantifies the trade-off the paper states:
+// the flagged build pays residual flag checks, so under a fixed policy it
+// is slightly slower than the dedicated version, never faster.
+func TestFlaggedDispatchOverhead(t *testing.T) {
+	c, err := apps.Compile(apps.NameBarnesHut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := apps.TestParams(apps.NameBarnesHut)
+	for _, policy := range []string{"original", "aggressive"} {
+		multi, err := Run(c.Parallel, Options{Procs: 4, Policy: policy, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flag, err := Run(c.Flagged, Options{Procs: 4, Policy: policy, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flag.Time < multi.Time {
+			t.Errorf("%s: flagged %v faster than multi-version %v", policy, flag.Time, multi.Time)
+		}
+		if float64(flag.Time) > 1.2*float64(multi.Time) {
+			t.Errorf("%s: flag overhead too large: %v vs %v", policy, flag.Time, multi.Time)
+		}
+	}
+}
+
+// TestFlaggedSerialCode exercises the base-flags path: a synchronized
+// method called from serial code in a flag-dispatch program must use the
+// run's policy flags (or Original's under dynamic feedback).
+func TestFlaggedSerialCode(t *testing.T) {
+	c := compile(t, `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+func main() {
+  let a: Acc = new Acc();
+  a.add(5.0);        // serial call into sync-set code
+  run(a, 16);
+  a.add(7.0);        // and again after the section
+  print a.v;
+}`)
+	for _, policy := range []string{"original", "aggressive", PolicyDynamic} {
+		res, err := Run(c.Flagged, Options{Procs: 2, Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Output[0] != "28" {
+			t.Errorf("%s: output = %v, want 28", policy, res.Output)
+		}
+	}
+}

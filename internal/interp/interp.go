@@ -1,0 +1,582 @@
+// Package interp executes compiled OBL programs on the simulated
+// multiprocessor (internal/simmach), implementing the generated-code
+// runtime the paper describes in §4:
+//
+//   - Serial sections execute on processor 0; parallel sections execute on
+//     all processors, with iterations claimed dynamically from a shared
+//     counter.
+//   - A potential switch point occurs at each loop iteration: the generated
+//     code polls the timer when it completes an iteration and tests for
+//     expiration of the current sampling or production interval (§4.1).
+//   - Policy switching is synchronous: when an interval expires, each
+//     processor waits at a barrier until all processors arrive, so every
+//     processor uses the same policy during each interval (§4.1).
+//   - The dynamic feedback controller (internal/core) measures each
+//     version's locking, waiting and execution time (§4.3) and selects the
+//     policy with the least overhead for the production phase.
+//
+// A Run executes either with a static policy (one version, no
+// instrumentation or polling — the paper's Original/Bounded/Aggressive
+// baselines) or with dynamic feedback.
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obl/ir"
+	"repro/internal/simmach"
+)
+
+// PolicyDynamic selects dynamic feedback; other valid policies are the
+// keys of each section's PolicyVersion map ("original", "bounded",
+// "aggressive").
+const PolicyDynamic = "dynamic"
+
+// Options configures a run.
+type Options struct {
+	// Procs is the number of processors. Default 1.
+	Procs int
+	// Policy is a static policy name or PolicyDynamic. Default dynamic.
+	Policy string
+	// TargetSampling and TargetProduction configure the dynamic feedback
+	// intervals (defaults: 10ms and 100s, the paper's headline settings).
+	TargetSampling   simmach.Time
+	TargetProduction simmach.Time
+	// EarlyCutoff, OrderByHistory and SpanExecutions enable the §4.5/§4.4
+	// controller optimizations.
+	EarlyCutoff    bool
+	OrderByHistory bool
+	SpanExecutions bool
+	// AutoTuneProduction retunes the production interval from the §5
+	// analysis at every production entry (see core.Config).
+	AutoTuneProduction bool
+	// AsyncSwitch disables the synchronous switch barrier (§4.1): the
+	// processor that detects interval expiration performs the transition
+	// alone and the others pick up the new version at their next claim.
+	// Measurements then mix versions; this exists as an ablation of the
+	// paper's synchronous-switching design decision.
+	AsyncSwitch bool
+	// Params overrides program parameters by name.
+	Params map[string]int64
+	// Machine overrides the simulator cost model; Procs wins over
+	// Machine.Procs.
+	Machine simmach.Config
+	// ClaimCost is charged per iteration claim (shared counter fetch-add).
+	// Default 150ns.
+	ClaimCost simmach.Time
+	// DispatchCost is charged per iteration in dynamic runs for the
+	// multi-version switch dispatch (§4.2). Default 60ns.
+	DispatchCost simmach.Time
+	// ForkCost is charged when a parallel section starts. Default 10µs.
+	ForkCost simmach.Time
+	// InstrumentationCost is charged per acquire and per release in
+	// instrumented (dynamic) runs for the counter updates of §4.3.
+	// Default 20ns.
+	InstrumentationCost simmach.Time
+	// MaxSteps aborts runaway executions. Default 2e9 scheduler steps.
+	MaxSteps int64
+	// Trace, when set, receives every synchronization event of the
+	// simulated machine (lock acquires, blocks, grants, releases, barrier
+	// traffic) in virtual-time order.
+	Trace func(simmach.TraceEvent)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs <= 0 {
+		o.Procs = 1
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyDynamic
+	}
+	if o.TargetSampling <= 0 {
+		o.TargetSampling = 10 * simmach.Millisecond
+	}
+	if o.TargetProduction <= 0 {
+		o.TargetProduction = 100 * simmach.Second
+	}
+	if o.ClaimCost <= 0 {
+		o.ClaimCost = 150
+	}
+	if o.DispatchCost <= 0 {
+		o.DispatchCost = 60
+	}
+	if o.ForkCost <= 0 {
+		o.ForkCost = 10 * simmach.Microsecond
+	}
+	if o.InstrumentationCost <= 0 {
+		o.InstrumentationCost = 20
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2e9
+	}
+	return o
+}
+
+// ExecutionStat describes one execution of a parallel section.
+type ExecutionStat struct {
+	Start, End simmach.Time
+	Iterations int64
+}
+
+// SampleStat is one controller interval record with resolved names.
+type SampleStat struct {
+	Kind     string
+	Version  int
+	Label    string
+	Start    simmach.Time
+	End      simmach.Time
+	Overhead float64
+	LockOver float64
+	WaitOver float64
+}
+
+// SectionStats aggregates a section's behaviour over a run.
+type SectionStats struct {
+	Name          string
+	VersionLabels []string
+	Executions    []ExecutionStat
+	Samples       []SampleStat
+	Iterations    int64
+	// Busy is the total processor time spent inside the section.
+	Busy simmach.Time
+	// Counters is the section's share of the machine counters.
+	Counters simmach.Counters
+	// ChosenVersion is the version most recently selected for production
+	// (or the static version).
+	ChosenVersion int
+}
+
+// Result of a run.
+type Result struct {
+	// Time is the program's virtual execution time.
+	Time simmach.Time
+	// Counters are the machine-wide totals (acquire/release pairs, failed
+	// acquires, locking/waiting time — the quantities of Tables 3 and 8).
+	Counters simmach.Counters
+	Output   []string
+	Sections []*SectionStats
+	Steps    int64
+}
+
+// runtimeErr aborts execution through the scheduler.
+type runtimeErr struct{ msg string }
+
+// Run executes the program.
+func Run(p *ir.Program, opts Options) (res *Result, err error) {
+	opts = opts.withDefaults()
+	if err := CheckExterns(p); err != nil {
+		return nil, err
+	}
+	if opts.Policy != PolicyDynamic {
+		for _, sec := range p.Sections {
+			if _, ok := sec.PolicyVersion[opts.Policy]; !ok {
+				return nil, fmt.Errorf("interp: section %s has no version for policy %q", sec.Name, opts.Policy)
+			}
+		}
+		if p.FlagPolicies != nil {
+			if _, ok := p.FlagPolicies[opts.Policy]; !ok {
+				return nil, fmt.Errorf("interp: flag-dispatch program has no flags for policy %q", opts.Policy)
+			}
+		}
+	}
+	mcfg := opts.Machine
+	mcfg.Procs = opts.Procs
+	rt := &runtime{
+		prog:        p,
+		opts:        opts,
+		m:           simmach.New(mcfg),
+		controllers: map[int]*core.Controller{},
+		stats:       map[int]*SectionStats{},
+	}
+	rt.m.Trace = opts.Trace
+	rt.barrier = rt.m.NewBarrier(opts.Procs)
+	if p.FlagPolicies != nil {
+		// Serial code in a flag-dispatch program uses a fixed, correct flag
+		// assignment: the static policy's, or Original's placement under
+		// dynamic feedback (all placements are correct; flags only select
+		// among them).
+		if opts.Policy == PolicyDynamic {
+			rt.baseFlags = p.FlagPolicies["original"]
+		} else {
+			rt.baseFlags = p.FlagPolicies[opts.Policy]
+		}
+	}
+	rt.paramVals = make([]int64, len(p.ParamNames))
+	for i, name := range p.ParamNames {
+		rt.paramVals[i] = p.Params[name]
+		if v, ok := opts.Params[name]; ok {
+			rt.paramVals[i] = v
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(runtimeErr); ok {
+				res, err = nil, fmt.Errorf("interp: %s", re.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	main := &task{rt: rt, isMain: true}
+	main.pushCall(p.MainID, nil, ir.NoReg)
+	rt.m.Start(0, main)
+	if err := rt.m.Run(); err != nil {
+		return nil, err
+	}
+	res = &Result{
+		Time:     rt.m.MaxClock(),
+		Counters: rt.m.TotalCounters(),
+		Output:   rt.output,
+		Steps:    rt.m.Steps(),
+	}
+	for _, sec := range p.Sections {
+		st, ok := rt.stats[sec.ID]
+		if !ok {
+			continue
+		}
+		if ctl := rt.controllers[sec.ID]; ctl != nil {
+			for _, s := range ctl.Samples() {
+				m := s.Meas
+				st.Samples = append(st.Samples, SampleStat{
+					Kind:     s.Kind.String(),
+					Version:  s.Policy,
+					Label:    st.VersionLabels[s.Policy],
+					Start:    simmach.Time(s.Start),
+					End:      simmach.Time(s.End),
+					Overhead: s.Overhead,
+					LockOver: m.LockingOverhead(),
+					WaitOver: m.WaitingOverhead(),
+				})
+			}
+			st.ChosenVersion = ctl.BestKnownPolicy()
+		}
+		res.Sections = append(res.Sections, st)
+	}
+	return res, nil
+}
+
+type runtime struct {
+	prog        *ir.Program
+	opts        Options
+	m           *simmach.Machine
+	paramVals   []int64
+	output      []string
+	controllers map[int]*core.Controller
+	stats       map[int]*SectionStats
+	barrier     *simmach.Barrier
+	// baseFlags is the site-flag vector used outside parallel sections in
+	// flag-dispatch programs.
+	baseFlags []bool
+}
+
+func (rt *runtime) fail(format string, args ...any) {
+	panic(runtimeErr{msg: fmt.Sprintf(format, args...)})
+}
+
+func (rt *runtime) sectionStats(sec *ir.Section) *SectionStats {
+	st, ok := rt.stats[sec.ID]
+	if !ok {
+		labels := make([]string, len(sec.Versions))
+		for i, v := range sec.Versions {
+			labels[i] = v.Label()
+		}
+		st = &SectionStats{Name: sec.Name, VersionLabels: labels}
+		rt.stats[sec.ID] = st
+	}
+	return st
+}
+
+// controller returns (creating on demand) the persistent dynamic feedback
+// controller of a section. Policies are the section's distinct versions;
+// the early cut-off components follow the monotonicity argument of §4.5.
+func (rt *runtime) controller(sec *ir.Section) *core.Controller {
+	if c, ok := rt.controllers[sec.ID]; ok {
+		return c
+	}
+	policies := make([]core.PolicyInfo, len(sec.Versions))
+	for i, v := range sec.Versions {
+		info := core.PolicyInfo{Name: v.Label()}
+		if rt.opts.EarlyCutoff {
+			label := v.Label()
+			if strings.Contains(label, "original") {
+				info.Cutoff = core.CutoffLocking
+			}
+			if strings.Contains(label, "aggressive") {
+				info.Cutoff = core.CutoffWaiting
+			}
+		}
+		policies[i] = info
+	}
+	c := core.MustNewController(core.Config{
+		Policies:           policies,
+		TargetSampling:     core.Nanos(rt.opts.TargetSampling),
+		TargetProduction:   core.Nanos(rt.opts.TargetProduction),
+		EarlyCutoff:        rt.opts.EarlyCutoff,
+		OrderByHistory:     rt.opts.OrderByHistory,
+		SpanExecutions:     rt.opts.SpanExecutions,
+		AutoTuneProduction: rt.opts.AutoTuneProduction,
+	})
+	rt.controllers[sec.ID] = c
+	return c
+}
+
+// sectionRun is the state of the active parallel section.
+type sectionRun struct {
+	rt         *runtime
+	sec        *ir.Section
+	stats      *SectionStats
+	lo, hi     int64
+	next       int64
+	args       []Value
+	versionIdx int
+	dynamic    bool
+	ctl        *core.Controller
+	snap       []simmach.Counters // per-proc counters at phase start
+	secSnap    []simmach.Counters // per-proc counters at section start
+	finished   bool
+	iterations int64
+	startTime  simmach.Time
+}
+
+func (sr *sectionRun) resnap() {
+	for i := range sr.snap {
+		sr.snap[i] = sr.rt.m.Proc(i).Counters
+	}
+}
+
+// measure computes the phase instrumentation delta summed over processors
+// (§4.3). Execution time excludes barrier waiting, which belongs to the
+// switching machinery rather than to the measured version.
+func (sr *sectionRun) measure() core.Measurement {
+	var m core.Measurement
+	for i := range sr.snap {
+		d := sr.rt.m.Proc(i).Counters.Sub(sr.snap[i])
+		m.Acquires += d.Acquires
+		m.FailedAcquires += d.FailedAcquires
+		m.LockTime += core.Nanos(d.LockTime)
+		m.WaitTime += core.Nanos(d.WaitTime)
+		m.ExecTime += core.Nanos(d.Busy - d.BarrierWait)
+	}
+	return m
+}
+
+// onBarrierComplete runs exactly once per rendezvous, before any
+// participant is released (synchronous switching, §4.1).
+func (sr *sectionRun) onBarrierComplete(last simmach.Time) {
+	if sr.next >= sr.hi {
+		// The section's iterations are exhausted: it ends here.
+		if sr.dynamic {
+			sr.ctl.EndExecution(core.Nanos(last), sr.measure())
+		}
+		sr.finished = true
+		st := sr.stats
+		st.Executions = append(st.Executions, ExecutionStat{
+			Start: sr.startTime, End: last, Iterations: sr.iterations,
+		})
+		st.Iterations += sr.iterations
+		for i := range sr.secSnap {
+			d := sr.rt.m.Proc(i).Counters.Sub(sr.secSnap[i])
+			st.Busy += d.Busy
+			st.Counters = st.Counters.Add(d)
+		}
+		return
+	}
+	// An interval expired: complete the phase and switch versions.
+	sr.ctl.CompletePhase(core.Nanos(last), sr.measure())
+	sr.versionIdx = sr.ctl.CurrentPolicy()
+	sr.resnap()
+}
+
+// frame is one activation record.
+type frame struct {
+	fn     *ir.Func
+	pc     int
+	regs   []Value
+	retDst ir.Reg
+}
+
+// Worker phases between body executions.
+const (
+	wClaim = iota
+	wBody
+	wAfterBarrier
+)
+
+// task drives one processor: the main task executes serial code and joins
+// sections; worker tasks exist only inside a section.
+type task struct {
+	rt     *runtime
+	frames []frame
+	isMain bool
+	sr     *sectionRun
+	// flags is the active site-flag vector (flag-dispatch programs): the
+	// current version's inside a section, frozen per iteration at claim.
+	flags []bool
+	// baseFrames is the serial-frame depth below section body frames; the
+	// main task joins each section as a worker on top of its serial stack.
+	baseFrames int
+	wphase     int
+	// executed counts instructions in the current Step; sync operations
+	// yield first if any work has been done, so that shared-state effects
+	// occur in exact virtual-time order.
+	executed int
+	acc      simmach.Time // unflushed compute cost
+}
+
+func (t *task) flush(p *simmach.Proc) {
+	if t.acc > 0 {
+		p.Advance(t.acc)
+		t.acc = 0
+	}
+}
+
+func (t *task) pushCall(funcID int, args []Value, retDst ir.Reg) {
+	fn := t.rt.prog.Funcs[funcID]
+	regs := make([]Value, fn.NRegs)
+	copy(regs, args)
+	t.frames = append(t.frames, frame{fn: fn, regs: regs, retDst: retDst})
+}
+
+// Step implements simmach.Process.
+func (t *task) Step(p *simmach.Proc) simmach.Status {
+	if t.rt.m.Steps() > t.rt.opts.MaxSteps {
+		t.rt.fail("step budget exceeded (%d); possible livelock", t.rt.opts.MaxSteps)
+	}
+	t.executed = 0
+	for {
+		if t.sr != nil && len(t.frames) == t.baseFrames {
+			st, again := t.sectionStep(p)
+			if !again {
+				return st
+			}
+			continue
+		}
+		if len(t.frames) == 0 {
+			// Main task finished the program.
+			t.flush(p)
+			return simmach.Done
+		}
+		st, again := t.execSome(p)
+		if !again {
+			return st
+		}
+	}
+}
+
+// sectionStep advances the worker-level state machine. It returns the
+// machine status, or again=true to continue within this Step.
+func (t *task) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
+	sr := t.sr
+	if sr.finished {
+		if t.isMain {
+			t.sr = nil
+			t.baseFrames = 0
+			return 0, true // resume serial code
+		}
+		t.flush(p)
+		return simmach.Done, false
+	}
+	switch t.wphase {
+	case wClaim:
+		if t.executed > 0 {
+			// Claims manipulate shared state: execute them at the start of
+			// a dispatch so they happen in virtual-time order.
+			t.flush(p)
+			return simmach.Ready, false
+		}
+		p.Advance(t.rt.opts.ClaimCost)
+		if sr.next >= sr.hi {
+			p.BarrierArrive(t.rt.barrier)
+			t.wphase = wAfterBarrier
+			return simmach.Blocked, false
+		}
+		iter := sr.next
+		sr.next++
+		sr.iterations++
+		if sr.dynamic {
+			p.Advance(t.rt.opts.DispatchCost)
+		}
+		v := sr.sec.Versions[sr.versionIdx]
+		t.flags = v.Flags
+		args := make([]Value, 0, len(sr.args)+1)
+		args = append(args, sr.args...)
+		args = append(args, IntVal(iter))
+		t.pushCall(v.FuncID, args, ir.NoReg)
+		t.wphase = wBody
+		t.executed++
+		return 0, true
+	case wBody:
+		// The body frames just emptied: the iteration is complete. This is
+		// the potential switch point (§4.1).
+		if sr.dynamic {
+			t.flush(p)
+			now := p.ReadTimer()
+			if sr.ctl.Expired(core.Nanos(now)) {
+				if t.rt.opts.AsyncSwitch {
+					// Ablation mode: transition without a rendezvous; the
+					// measurement mixes whatever versions ran meanwhile.
+					sr.ctl.CompletePhase(core.Nanos(now), sr.measure())
+					sr.versionIdx = sr.ctl.CurrentPolicy()
+					sr.resnap()
+					t.wphase = wClaim
+					t.flush(p)
+					return simmach.Ready, false
+				}
+				p.BarrierArrive(t.rt.barrier)
+				t.wphase = wAfterBarrier
+				return simmach.Blocked, false
+			}
+		}
+		t.wphase = wClaim
+		t.flush(p)
+		return simmach.Ready, false
+	case wAfterBarrier:
+		t.wphase = wClaim
+		return 0, true
+	}
+	t.rt.fail("bad worker phase %d", t.wphase)
+	return simmach.Done, false
+}
+
+// enterSection handles OpParallel on the main task.
+func (t *task) enterSection(p *simmach.Proc, fr *frame, in ir.Instr) {
+	rt := t.rt
+	sec := rt.prog.Sections[in.Imm]
+	lo := fr.regs[in.A].I
+	hi := fr.regs[in.B].I
+	args := make([]Value, len(in.Args))
+	for i, r := range in.Args {
+		args[i] = fr.regs[r]
+	}
+	p.Advance(rt.opts.ForkCost)
+	sr := &sectionRun{
+		rt: rt, sec: sec, stats: rt.sectionStats(sec),
+		lo: lo, hi: hi, next: lo, args: args,
+		dynamic:   rt.opts.Policy == PolicyDynamic,
+		snap:      make([]simmach.Counters, rt.opts.Procs),
+		secSnap:   make([]simmach.Counters, rt.opts.Procs),
+		startTime: p.Now(),
+	}
+	if sr.dynamic {
+		sr.ctl = rt.controller(sec)
+		sr.ctl.BeginExecution(core.Nanos(p.Now()))
+		sr.versionIdx = sr.ctl.CurrentPolicy()
+	} else {
+		sr.versionIdx = sec.PolicyVersion[rt.opts.Policy]
+	}
+	sr.stats.ChosenVersion = sr.versionIdx
+	rt.barrier.OnComplete = sr.onBarrierComplete
+	for i := 1; i < rt.opts.Procs; i++ {
+		rt.m.SetClock(i, p.Now())
+		rt.m.Start(i, &task{rt: rt, sr: sr, wphase: wClaim})
+	}
+	for i := range sr.secSnap {
+		sr.secSnap[i] = rt.m.Proc(i).Counters
+	}
+	sr.resnap()
+	t.sr = sr
+	t.baseFrames = len(t.frames)
+	t.wphase = wClaim
+}

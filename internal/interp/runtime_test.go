@@ -1,0 +1,236 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/simmach"
+)
+
+// TestResamplingWithinSection: with a short production interval, a long
+// section must run several sampling rounds (periodic resampling, §4) and
+// the timeline of samples must tile the section without gaps.
+func TestResamplingWithinSection(t *testing.T) {
+	c, err := apps.Compile(apps.NameBarnesHut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"nbodies": 256, "listlen": 48, "interwork": 20000,
+		"npasses": 1, "serialwork": 1000}
+	res, err := Run(c.Parallel, Options{
+		Procs: 4, Policy: PolicyDynamic, Params: params,
+		TargetSampling:   simmach.Millisecond,
+		TargetProduction: 10 * simmach.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := res.Sections[0]
+	productions := 0
+	var prevEnd simmach.Time
+	first := true
+	for _, smp := range sec.Samples {
+		if smp.Kind == "production" {
+			productions++
+		}
+		if !first && smp.Start != prevEnd {
+			t.Errorf("gap in sample timeline: %v then %v", prevEnd, smp.Start)
+		}
+		prevEnd = smp.End
+		first = false
+	}
+	if productions < 2 {
+		t.Errorf("productions = %d, want ≥ 2 (resampling)", productions)
+	}
+}
+
+// TestSpanExecutionsInSimulator: with the §4.4 extension, sampling state
+// survives across section executions instead of restarting each time.
+func TestSpanExecutionsInSimulator(t *testing.T) {
+	c, err := apps.Compile(apps.NameBarnesHut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"nbodies": 48, "listlen": 12, "interwork": 20000,
+		"npasses": 6, "serialwork": 1000}
+	countSampling := func(span bool) int {
+		res, err := Run(c.Parallel, Options{
+			Procs: 4, Policy: PolicyDynamic, Params: params,
+			TargetSampling: 5 * simmach.Millisecond, SpanExecutions: span,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, sec := range res.Sections {
+			if sec.Name != "FORCES" {
+				continue
+			}
+			for _, smp := range sec.Samples {
+				if smp.Kind == "partial" {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// Without spanning, each of the 6 FORCES executions is too short to
+	// finish sampling: partial samples pile up. With spanning, the phases
+	// complete across executions, so partial records mostly disappear.
+	without := countSampling(false)
+	with := countSampling(true)
+	if with >= without {
+		t.Errorf("partial samples with span = %d, without = %d; spanning should reduce them", with, without)
+	}
+}
+
+// TestAsyncSwitchDeterministic: the ablation mode is still fully
+// deterministic in the simulator.
+func TestAsyncSwitchDeterministic(t *testing.T) {
+	c := compile(t, potengSrc)
+	run := func() *Result {
+		res, err := Run(c.Parallel, Options{
+			Procs: 6, Policy: PolicyDynamic, AsyncSwitch: true,
+			TargetSampling: simmach.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.Counters != b.Counters {
+		t.Errorf("async runs differ: %v vs %v", a.Time, b.Time)
+	}
+}
+
+// TestSerialSectionsParkProcessors: during serial code only processor 0
+// advances; total busy time must be far below procs × wall time for a
+// serial-heavy program.
+func TestSerialSectionsParkProcessors(t *testing.T) {
+	c := compile(t, `
+extern work(n: int) cost 0;
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+func main() {
+  let a: Acc = new Acc();
+  let t: float = 0.0;
+  for i in 0..1000 { work(100000); t = t + 1.0; }
+  run(a, 64);
+  print a.v;
+}`)
+	res, err := Run(c.Parallel, Options{Procs: 8, Policy: "aggressive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial phase is ~100ms; the parallel section is tiny. Total busy
+	// must stay close to 1× wall, not 8×.
+	if float64(res.Counters.Busy) > 2*float64(res.Time) {
+		t.Errorf("busy %v vs wall %v: processors not parked during serial code",
+			res.Counters.Busy, res.Time)
+	}
+}
+
+// TestMultipleSectionsIndependentControllers: each section keeps its own
+// controller; the history of one must not leak into the other.
+func TestMultipleSectionsIndependentControllers(t *testing.T) {
+	c, err := apps.Compile(apps.NameWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c.Parallel, Options{
+		Procs: 4, Policy: PolicyDynamic, Params: apps.TestParams(apps.NameWater),
+		TargetSampling: simmach.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sections) != 2 {
+		t.Fatalf("sections = %d", len(res.Sections))
+	}
+	labels := map[string][]string{}
+	for _, sec := range res.Sections {
+		labels[sec.Name] = sec.VersionLabels
+	}
+	if len(labels["INTERF"]) != 2 || len(labels["POTENG"]) != 2 {
+		t.Errorf("version labels: %v", labels)
+	}
+	if labels["INTERF"][1] != "bounded/aggressive" || labels["POTENG"][0] != "original/bounded" {
+		t.Errorf("merged labels wrong: %v", labels)
+	}
+}
+
+// TestZeroIterationSection: a parallel loop with an empty range must
+// complete without running any iteration or deadlocking.
+func TestZeroIterationSection(t *testing.T) {
+	c := compile(t, `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+func main() {
+  let a: Acc = new Acc();
+  run(a, 0);
+  print a.v;
+}`)
+	for _, policy := range []string{"original", "dynamic"} {
+		res, err := Run(c.Parallel, Options{Procs: 4, Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Output[0] != "0" {
+			t.Errorf("%s: output = %v", policy, res.Output)
+		}
+		if len(res.Sections) == 0 || res.Sections[0].Iterations != 0 {
+			t.Errorf("%s: section stats wrong: %+v", policy, res.Sections)
+		}
+	}
+}
+
+// TestMaxStepsGuard: a pathological budget aborts instead of hanging.
+func TestMaxStepsGuard(t *testing.T) {
+	c := compile(t, `
+func main() {
+  let x: int = 0;
+  while x < 1000000000 { x = x + 1; }
+  print x;
+}`)
+	_, err := Run(c.Serial, Options{MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("step budget not enforced")
+	}
+}
+
+// TestRecursionDepthGuard: unbounded recursion is reported, not a crash.
+func TestRecursionDepthGuard(t *testing.T) {
+	c := compile(t, `
+func loop(n: int): int { return loop(n + 1); }
+func main() { print loop(0); }
+`)
+	_, err := Run(c.Serial, Options{})
+	if err == nil {
+		t.Fatal("stack overflow not reported")
+	}
+}
+
+// TestProcsOneEqualsSerialStructure: a 1-processor parallel run has the
+// same acquire counts as itself repeated (sanity for the worker loop).
+func TestProcsOneDeterministicAndComplete(t *testing.T) {
+	c := compile(t, bhSrc)
+	r1, err := Run(c.Parallel, Options{Procs: 1, Policy: "original"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(c.Parallel, Options{Procs: 1, Policy: "original"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time || r1.Counters.Acquires != r2.Counters.Acquires {
+		t.Error("1-proc runs differ")
+	}
+	if r1.Counters.FailedAcquires != 0 || r1.Counters.WaitTime != 0 {
+		t.Errorf("1-proc run waited: %+v", r1.Counters)
+	}
+}

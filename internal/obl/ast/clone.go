@@ -1,0 +1,116 @@
+package ast
+
+// CloneFunc deep-copies a function declaration. The synchronization
+// optimizer clones methods before rewriting them, since each policy needs
+// its own variant of the affected code (§4.2: the compiler generates
+// several versions of each parallel section).
+func CloneFunc(d *FuncDecl) *FuncDecl {
+	if d == nil {
+		return nil
+	}
+	out := &FuncDecl{P: d.P, Class: d.Class, Name: d.Name, Result: CloneType(d.Result), Body: CloneBlock(d.Body)}
+	for _, p := range d.Params {
+		out.Params = append(out.Params, &ParamSpec{P: p.P, Name: p.Name, Type: CloneType(p.Type)})
+	}
+	return out
+}
+
+// CloneType deep-copies a type.
+func CloneType(t Type) Type {
+	switch t := t.(type) {
+	case nil:
+		return nil
+	case *PrimType:
+		cp := *t
+		return &cp
+	case *ClassType:
+		cp := *t
+		return &cp
+	case *ArrayType:
+		return &ArrayType{P: t.P, Elem: CloneType(t.Elem)}
+	default:
+		panic("ast: unknown type in CloneType")
+	}
+}
+
+// CloneBlock deep-copies a block.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	out := &Block{P: b.P}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		return CloneBlock(s)
+	case *LetStmt:
+		return &LetStmt{P: s.P, Name: s.Name, Type: CloneType(s.Type), Init: CloneExpr(s.Init)}
+	case *AssignStmt:
+		return &AssignStmt{P: s.P, LHS: CloneExpr(s.LHS), RHS: CloneExpr(s.RHS)}
+	case *ExprStmt:
+		return &ExprStmt{P: s.P, X: CloneExpr(s.X)}
+	case *IfStmt:
+		return &IfStmt{P: s.P, Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Else: CloneBlock(s.Else)}
+	case *WhileStmt:
+		return &WhileStmt{P: s.P, Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body)}
+	case *ForStmt:
+		return &ForStmt{P: s.P, Var: s.Var, Lo: CloneExpr(s.Lo), Hi: CloneExpr(s.Hi),
+			Body: CloneBlock(s.Body), Parallel: s.Parallel, Section: s.Section}
+	case *ReturnStmt:
+		return &ReturnStmt{P: s.P, X: CloneExpr(s.X)}
+	case *PrintStmt:
+		return &PrintStmt{P: s.P, X: CloneExpr(s.X)}
+	case *SyncBlock:
+		return &SyncBlock{P: s.P, Lock: CloneExpr(s.Lock), Body: CloneBlock(s.Body), Site: s.Site}
+	default:
+		panic("ast: unknown statement in CloneStmt")
+	}
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		cp := *e
+		return &cp
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *FloatLit:
+		cp := *e
+		return &cp
+	case *BoolLit:
+		cp := *e
+		return &cp
+	case *ThisExpr:
+		cp := *e
+		return &cp
+	case *FieldExpr:
+		return &FieldExpr{P: e.P, X: CloneExpr(e.X), Name: e.Name}
+	case *IndexExpr:
+		return &IndexExpr{P: e.P, X: CloneExpr(e.X), Index: CloneExpr(e.Index)}
+	case *CallExpr:
+		out := &CallExpr{P: e.P, Recv: CloneExpr(e.Recv), Name: e.Name}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	case *NewExpr:
+		return &NewExpr{P: e.P, Type: CloneType(e.Type), Count: CloneExpr(e.Count)}
+	case *BinExpr:
+		return &BinExpr{P: e.P, Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *UnExpr:
+		return &UnExpr{P: e.P, Op: e.Op, X: CloneExpr(e.X)}
+	default:
+		panic("ast: unknown expression in CloneExpr")
+	}
+}

@@ -1,0 +1,192 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/obl/token"
+)
+
+// Print renders a program back to OBL-like source text, including the
+// compiler-inserted constructs: SyncBlocks print as acquire/release regions
+// and parallel loops print with a "parallel" marker. This is how cmd/oblc
+// shows the Figure 1 → Figure 2 transformation.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Params {
+		fmt.Fprintf(&b, "param %s: int = %d;\n", d.Name, d.Default)
+	}
+	for _, d := range p.Externs {
+		fmt.Fprintf(&b, "extern %s(%s)%s cost %d;\n", d.Name, printParams(d.Params), printResult(d.Result), d.Cost)
+	}
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, "  %s: %s;\n", f.Name, f.Type)
+		}
+		for _, m := range c.Methods {
+			printFunc(&b, m, 1)
+		}
+		b.WriteString("}\n")
+	}
+	for _, f := range p.Funcs {
+		printFunc(&b, f, 0)
+	}
+	return b.String()
+}
+
+// PrintFunc renders a single function or method.
+func PrintFunc(f *FuncDecl) string {
+	var b strings.Builder
+	printFunc(&b, f, 0)
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl, depth int) {
+	ind := strings.Repeat("  ", depth)
+	kw := "func"
+	if f.Class != "" {
+		kw = "method"
+	}
+	fmt.Fprintf(b, "%s%s %s(%s)%s ", ind, kw, f.Name, printParams(f.Params), printResult(f.Result))
+	printBlock(b, f.Body, depth)
+	b.WriteString("\n")
+}
+
+func printParams(ps []*ParamSpec) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Name + ": " + p.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func printResult(t Type) string {
+	if t == nil {
+		return ""
+	}
+	return ": " + t.String()
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	b.WriteString(strings.Repeat("  ", depth) + "}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch s := s.(type) {
+	case *Block:
+		b.WriteString(ind)
+		printBlock(b, s, depth)
+		b.WriteString("\n")
+	case *LetStmt:
+		if s.Init != nil {
+			fmt.Fprintf(b, "%slet %s: %s = %s;\n", ind, s.Name, s.Type, ExprString(s.Init))
+		} else {
+			fmt.Fprintf(b, "%slet %s: %s;\n", ind, s.Name, s.Type)
+		}
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s%s = %s;\n", ind, ExprString(s.LHS), ExprString(s.RHS))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s%s;\n", ind, ExprString(s.X))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif %s ", ind, ExprString(s.Cond))
+		printBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			printBlock(b, s.Else, depth)
+		}
+		b.WriteString("\n")
+	case *WhileStmt:
+		fmt.Fprintf(b, "%swhile %s ", ind, ExprString(s.Cond))
+		printBlock(b, s.Body, depth)
+		b.WriteString("\n")
+	case *ForStmt:
+		marker := ""
+		if s.Parallel {
+			marker = fmt.Sprintf("/*parallel %s*/ ", s.Section)
+		}
+		fmt.Fprintf(b, "%s%sfor %s in %s..%s ", ind, marker, s.Var, ExprString(s.Lo), ExprString(s.Hi))
+		printBlock(b, s.Body, depth)
+		b.WriteString("\n")
+	case *ReturnStmt:
+		if s.X != nil {
+			fmt.Fprintf(b, "%sreturn %s;\n", ind, ExprString(s.X))
+		} else {
+			fmt.Fprintf(b, "%sreturn;\n", ind)
+		}
+	case *PrintStmt:
+		fmt.Fprintf(b, "%sprint %s;\n", ind, ExprString(s.X))
+	case *SyncBlock:
+		if s.Site > 0 {
+			fmt.Fprintf(b, "%sacquire.if(site%d, %s.mutex) ", ind, s.Site, ExprString(s.Lock))
+		} else {
+			fmt.Fprintf(b, "%sacquire(%s.mutex) ", ind, ExprString(s.Lock))
+		}
+		printBlock(b, s.Body, depth)
+		b.WriteString(" release\n")
+	default:
+		fmt.Fprintf(b, "%s/*?stmt*/\n", ind)
+	}
+}
+
+var opText = map[token.Kind]string{
+	token.Plus: "+", token.Minus: "-", token.Star: "*", token.Slash: "/",
+	token.Percent: "%", token.Eq: "==", token.NotEq: "!=", token.Lt: "<",
+	token.LtEq: "<=", token.Gt: ">", token.GtEq: ">=", token.AndAnd: "&&",
+	token.OrOr: "||", token.Not: "!",
+}
+
+// ExprString renders an expression as source text (fully parenthesized for
+// binary operations, so precedence never misleads).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return e.Name
+	case *IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *FloatLit:
+		text := strconv.FormatFloat(e.Val, 'g', -1, 64)
+		// Keep the literal a float under reparsing: 1 -> 1.0.
+		if !strings.ContainsAny(text, ".eE") {
+			text += ".0"
+		}
+		return text
+	case *BoolLit:
+		return strconv.FormatBool(e.Val)
+	case *ThisExpr:
+		return "this"
+	case *FieldExpr:
+		return ExprString(e.X) + "." + e.Name
+	case *IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		recv := ""
+		if e.Recv != nil {
+			recv = ExprString(e.Recv) + "."
+		}
+		return recv + e.Name + "(" + strings.Join(args, ", ") + ")"
+	case *NewExpr:
+		if e.Count != nil {
+			return "new " + e.Type.String() + "[" + ExprString(e.Count) + "]"
+		}
+		return "new " + e.Type.String() + "()"
+	case *BinExpr:
+		return "(" + ExprString(e.L) + " " + opText[e.Op] + " " + ExprString(e.R) + ")"
+	case *UnExpr:
+		return opText[e.Op] + ExprString(e.X)
+	default:
+		return "/*?expr*/"
+	}
+}

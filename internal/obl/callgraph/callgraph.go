@@ -1,0 +1,261 @@
+// Package callgraph builds the static call graph of a checked OBL program
+// and answers the queries the compiler needs: reachability (to find the
+// extent of a parallel section and the methods that need synchronization)
+// and cycle membership (the Bounded synchronization policy applies the
+// lock elimination transformation only if the new critical region will
+// contain no cycles in the call graph, §3).
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/sema"
+)
+
+// Graph is a call graph over functions and methods, keyed by full name
+// ("name" or "Class::name"). Extern and builtin calls are not nodes: they
+// cannot call back into the program.
+type Graph struct {
+	info  *sema.Info
+	succs map[string][]string
+	scc   map[string]int // full name -> SCC id
+	size  map[int]int    // SCC id -> member count
+	self  map[string]bool
+}
+
+// Build constructs the call graph for a checked program.
+func Build(info *sema.Info) *Graph {
+	g := &Graph{
+		info:  info,
+		succs: map[string][]string{},
+		self:  map[string]bool{},
+		scc:   map[string]int{},
+		size:  map[int]int{},
+	}
+	for _, fi := range info.AllFuncs() {
+		name := fi.FullName()
+		seen := map[string]bool{}
+		var succs []string
+		walkCalls(fi.Decl.Body, func(call *ast.CallExpr) {
+			target, ok := info.CallTarget[call]
+			if !ok {
+				return
+			}
+			tn := target.FullName()
+			if tn == name {
+				g.self[name] = true
+			}
+			if !seen[tn] {
+				seen[tn] = true
+				succs = append(succs, tn)
+			}
+		})
+		sort.Strings(succs)
+		g.succs[name] = succs
+	}
+	g.tarjan()
+	return g
+}
+
+// walkCalls visits every call expression in a statement tree.
+func walkCalls(s ast.Stmt, f func(*ast.CallExpr)) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			walkCalls(st, f)
+		}
+	case *ast.LetStmt:
+		walkExprCalls(s.Init, f)
+	case *ast.AssignStmt:
+		walkExprCalls(s.LHS, f)
+		walkExprCalls(s.RHS, f)
+	case *ast.ExprStmt:
+		walkExprCalls(s.X, f)
+	case *ast.IfStmt:
+		walkExprCalls(s.Cond, f)
+		walkCalls(s.Then, f)
+		if s.Else != nil {
+			walkCalls(s.Else, f)
+		}
+	case *ast.WhileStmt:
+		walkExprCalls(s.Cond, f)
+		walkCalls(s.Body, f)
+	case *ast.ForStmt:
+		walkExprCalls(s.Lo, f)
+		walkExprCalls(s.Hi, f)
+		walkCalls(s.Body, f)
+	case *ast.ReturnStmt:
+		walkExprCalls(s.X, f)
+	case *ast.PrintStmt:
+		walkExprCalls(s.X, f)
+	case *ast.SyncBlock:
+		walkExprCalls(s.Lock, f)
+		walkCalls(s.Body, f)
+	}
+}
+
+func walkExprCalls(e ast.Expr, f func(*ast.CallExpr)) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FieldExpr:
+		walkExprCalls(e.X, f)
+	case *ast.IndexExpr:
+		walkExprCalls(e.X, f)
+		walkExprCalls(e.Index, f)
+	case *ast.CallExpr:
+		f(e)
+		walkExprCalls(e.Recv, f)
+		for _, a := range e.Args {
+			walkExprCalls(a, f)
+		}
+	case *ast.NewExpr:
+		walkExprCalls(e.Count, f)
+	case *ast.BinExpr:
+		walkExprCalls(e.L, f)
+		walkExprCalls(e.R, f)
+	case *ast.UnExpr:
+		walkExprCalls(e.X, f)
+	}
+}
+
+// WalkCalls exposes the call-site walker for other compiler phases.
+func WalkCalls(s ast.Stmt, f func(*ast.CallExpr)) { walkCalls(s, f) }
+
+// WalkExprCalls exposes the expression call-site walker.
+func WalkExprCalls(e ast.Expr, f func(*ast.CallExpr)) { walkExprCalls(e, f) }
+
+// Succs returns the direct callees of the named function, sorted.
+func (g *Graph) Succs(full string) []string { return g.succs[full] }
+
+// tarjan computes strongly connected components iteratively.
+func (g *Graph) tarjan() {
+	names := make([]string, 0, len(g.succs))
+	for n := range g.succs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	sccID := 0
+
+	type frame struct {
+		name string
+		succ int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{name: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.succ < len(g.succs[fr.name]) {
+				s := g.succs[fr.name][fr.succ]
+				fr.succ++
+				if _, seen := index[s]; !seen {
+					index[s] = next
+					low[s] = next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{name: s})
+				} else if onStack[s] {
+					if index[s] < low[fr.name] {
+						low[fr.name] = index[s]
+					}
+				}
+				continue
+			}
+			// Finish fr.name.
+			name := fr.name
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[name] < low[parent.name] {
+					low[parent.name] = low[name]
+				}
+			}
+			if low[name] == index[name] {
+				count := 0
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					g.scc[top] = sccID
+					count++
+					if top == name {
+						break
+					}
+				}
+				g.size[sccID] = count
+				sccID++
+			}
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+}
+
+// InCycle reports whether the named function participates in a call-graph
+// cycle (a multi-member SCC, or direct recursion).
+func (g *Graph) InCycle(full string) bool {
+	if g.self[full] {
+		return true
+	}
+	id, ok := g.scc[full]
+	return ok && g.size[id] > 1
+}
+
+// Reachable returns every function reachable from the given roots
+// (including the roots themselves if they are program functions), sorted.
+func (g *Graph) Reachable(roots ...string) []string {
+	seen := map[string]bool{}
+	var stack []string
+	for _, r := range roots {
+		if _, ok := g.succs[r]; ok && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanReachCycle reports whether any function reachable from the given
+// roots (including themselves) participates in a cycle. The Bounded policy
+// declines to build a critical region when this holds: the region's
+// dynamic size would be unbounded (§3).
+func (g *Graph) CanReachCycle(roots ...string) bool {
+	for _, n := range g.Reachable(roots...) {
+		if g.InCycle(n) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package callgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obl/parser"
+	"repro/internal/obl/sema"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(info)
+}
+
+const chainSrc = `
+func a() { b(); }
+func b() { c(); c(); }
+func c() { }
+func main() { a(); }
+`
+
+func TestSuccsDeduplicated(t *testing.T) {
+	g := build(t, chainSrc)
+	if got := g.Succs("b"); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Errorf("Succs(b) = %v, want [c]", got)
+	}
+	if got := g.Succs("main"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("Succs(main) = %v", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := build(t, chainSrc)
+	if got := g.Reachable("a"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Reachable(a) = %v", got)
+	}
+	if got := g.Reachable("c"); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Errorf("Reachable(c) = %v", got)
+	}
+	if got := g.Reachable("nonexistent"); len(got) != 0 {
+		t.Errorf("Reachable(nonexistent) = %v", got)
+	}
+}
+
+func TestAcyclicNoCycles(t *testing.T) {
+	g := build(t, chainSrc)
+	for _, n := range []string{"a", "b", "c", "main"} {
+		if g.InCycle(n) {
+			t.Errorf("InCycle(%s) = true in acyclic graph", n)
+		}
+	}
+	if g.CanReachCycle("main") {
+		t.Error("CanReachCycle(main) = true in acyclic graph")
+	}
+}
+
+func TestDirectRecursion(t *testing.T) {
+	g := build(t, `
+func fact(n: int): int {
+  if n <= 1 { return 1; }
+  return n * fact(n - 1);
+}
+func top() { let x: int = fact(5); }
+`)
+	if !g.InCycle("fact") {
+		t.Error("InCycle(fact) = false for direct recursion")
+	}
+	if g.InCycle("top") {
+		t.Error("InCycle(top) = true")
+	}
+	if !g.CanReachCycle("top") {
+		t.Error("CanReachCycle(top) = false")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	g := build(t, `
+func even(n: int): bool { if n == 0 { return true; } return odd(n - 1); }
+func odd(n: int): bool { if n == 0 { return false; } return even(n - 1); }
+func leaf() { }
+func top() { let b: bool = even(4); leaf(); }
+`)
+	if !g.InCycle("even") || !g.InCycle("odd") {
+		t.Error("mutual recursion not detected")
+	}
+	if g.InCycle("leaf") || g.InCycle("top") {
+		t.Error("non-cyclic nodes marked cyclic")
+	}
+	if !g.CanReachCycle("top") {
+		t.Error("CanReachCycle(top) = false")
+	}
+	if g.CanReachCycle("leaf") {
+		t.Error("CanReachCycle(leaf) = true")
+	}
+}
+
+func TestMethodsInGraph(t *testing.T) {
+	g := build(t, `
+class C {
+  v: int;
+  method m(o: C) { o.helper(); }
+  method helper() { this.v = this.v + 1; }
+}
+func main(){ let c: C = new C(); c.m(c); }
+`)
+	if got := g.Succs("C::m"); !reflect.DeepEqual(got, []string{"C::helper"}) {
+		t.Errorf("Succs(C::m) = %v", got)
+	}
+	if got := g.Reachable("main"); !reflect.DeepEqual(got, []string{"C::helper", "C::m", "main"}) {
+		t.Errorf("Reachable(main) = %v", got)
+	}
+}
+
+func TestCallsInsideAllConstructs(t *testing.T) {
+	// Calls must be found in conditions, bounds, returns, prints, args,
+	// indexes and nested expressions.
+	g := build(t, `
+func p(): bool { return true; }
+func q(): int { return 1; }
+func r(x: int): int { return x; }
+func top(xs: int[]) {
+  if p() { }
+  while p() { return; }
+  for i in q()..r(2) { }
+  print r(q());
+  let z: int = xs[q()];
+}
+`)
+	want := []string{"p", "q", "r", "top"}
+	if got := g.Reachable("top"); !reflect.DeepEqual(got, want) {
+		t.Errorf("Reachable(top) = %v, want %v", got, want)
+	}
+}
+
+func TestExternsNotNodes(t *testing.T) {
+	g := build(t, `
+extern sqrt(x: float): float cost 50;
+func f(): float { return sqrt(2.0); }
+`)
+	if got := g.Succs("f"); len(got) != 0 {
+		t.Errorf("Succs(f) = %v, want none (externs are not nodes)", got)
+	}
+}
+
+func TestLargeCycleSCC(t *testing.T) {
+	g := build(t, `
+func s1(n: int) { if n > 0 { s2(n - 1); } }
+func s2(n: int) { if n > 0 { s3(n - 1); } }
+func s3(n: int) { if n > 0 { s1(n - 1); } }
+func out() { s1(3); }
+`)
+	for _, n := range []string{"s1", "s2", "s3"} {
+		if !g.InCycle(n) {
+			t.Errorf("InCycle(%s) = false", n)
+		}
+	}
+	if g.InCycle("out") {
+		t.Error("InCycle(out) = true")
+	}
+}

@@ -1,0 +1,579 @@
+package commute
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/callgraph"
+	"repro/internal/obl/parser"
+	"repro/internal/obl/sema"
+)
+
+func analyze(t *testing.T, src string) ([]LoopReport, *ast.Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(info, callgraph.Build(info))
+	return a.AnalyzeLoops(), prog
+}
+
+// expectOne finds exactly one report for the named function and returns it.
+func expectOne(t *testing.T, reps []LoopReport, fn string) LoopReport {
+	t.Helper()
+	var found []LoopReport
+	for _, r := range reps {
+		if r.Func == fn {
+			found = append(found, r)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("reports for %s = %d (%+v), want 1", fn, len(found), reps)
+	}
+	return found[0]
+}
+
+const figure1Src = `
+extern interact(a: float, b: float): float cost 9000;
+param n: int = 16;
+
+class Body {
+  pos: float;
+  sum: float;
+  method one_interaction(b: Body) {
+    let val: float = interact(this.pos, b.pos);
+    this.sum = this.sum + val;
+  }
+  method interactions(bs: Body[], cnt: int) {
+    for i in 0..cnt {
+      this.one_interaction(bs[i]);
+    }
+  }
+}
+
+func forces(bodies: Body[], cnt: int) {
+  for i in 0..cnt {
+    bodies[i].interactions(bodies, cnt);
+  }
+}
+
+func main() {
+  let bodies: Body[] = new Body[n];
+  for i in 0..n {
+    bodies[i] = new Body();
+    bodies[i].pos = tofloat(i);
+  }
+  forces(bodies, n);
+}
+`
+
+func TestFigure1LoopParallelized(t *testing.T) {
+	reps, prog := analyze(t, figure1Src)
+	r := expectOne(t, reps, "forces")
+	if !r.Parallel {
+		t.Fatalf("forces loop not parallel: %s", r.Reason)
+	}
+	if r.Section != "FORCES" {
+		t.Errorf("section name = %q, want FORCES", r.Section)
+	}
+	wantExtent := []string{"Body::interactions", "Body::one_interaction"}
+	if len(r.Extent) != 2 || r.Extent[0] != wantExtent[0] || r.Extent[1] != wantExtent[1] {
+		t.Errorf("extent = %v, want %v", r.Extent, wantExtent)
+	}
+	// The AST must be marked.
+	var marked *ast.ForStmt
+	for _, f := range prog.Funcs {
+		if f.Name == "forces" {
+			marked = f.Body.Stmts[0].(*ast.ForStmt)
+		}
+	}
+	if marked == nil || !marked.Parallel || marked.Section != "FORCES" {
+		t.Errorf("AST not marked: %+v", marked)
+	}
+	// The init loop in main assigns array elements ($elem write) and reads
+	// them in the same candidate; its operations do not commute.
+	initRep := expectOne(t, reps, "main")
+	if initRep.Parallel {
+		t.Error("main init loop wrongly parallelized")
+	}
+}
+
+func TestNonCommutingOverwriteRejected(t *testing.T) {
+	// last = i overwrites with order-dependent values: not commuting.
+	src := `
+class Cell {
+  last: int;
+  method set(v: int) { this.last = v; }
+}
+func run(cs: Cell[], n: int) {
+  for i in 0..n {
+    cs[i].set(i);
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("order-dependent overwrite wrongly parallelized")
+	}
+	if !strings.Contains(r.Reason, "last") {
+		t.Errorf("reason %q does not mention the field", r.Reason)
+	}
+}
+
+func TestIdempotentOverwriteCommutes(t *testing.T) {
+	// Writing a constant is idempotent: both orders give the same state.
+	src := `
+class Cell {
+  flag: int;
+  method mark() { this.flag = 1; }
+}
+func run(cs: Cell[], n: int) {
+  for i in 0..n {
+    cs[i].mark();
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("idempotent overwrite not parallelized: %s", r.Reason)
+	}
+}
+
+func TestReadOfWrittenFieldRejected(t *testing.T) {
+	// get reads the accumulator another operation updates.
+	src := `
+class Acc {
+  total: float;
+  peek: float;
+  method add(v: float) { this.total = this.total + v; }
+  method observe() { this.peek = this.total; }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n {
+    a.add(tofloat(i));
+    a.observe();
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("read-after-write across operations wrongly parallelized")
+	}
+}
+
+func TestMixedReductionOperatorsRejected(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method add(x: float) { this.v = this.v + x; }
+  method scale(x: float) { this.v = this.v * x; }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n {
+    a.add(1.0);
+    a.scale(2.0);
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("mixed + and * reductions wrongly parallelized")
+	}
+}
+
+func TestProductReductionCommutes(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method scale(x: float) { this.v = this.v * x; }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n {
+    a.scale(tofloat(i) + 2.0);
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("product reduction not parallelized: %s", r.Reason)
+	}
+}
+
+func TestSubtractionNormalizesToSum(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method sub(x: float) { this.v = this.v - x; }
+  method add(x: float) { this.v = this.v + x; }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n {
+    a.sub(1.5);
+    a.add(0.5);
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("subtraction reduction not parallelized: %s", r.Reason)
+	}
+}
+
+func TestAccumulationThroughLocalCommutes(t *testing.T) {
+	// The Figure 1 pattern: accumulate through a local temporary.
+	src := `
+extern f(x: float): float cost 10;
+class Acc {
+  v: float;
+  w: float;
+  method bump(x: float) {
+    let t: float = f(x);
+    this.v = this.v + t;
+    this.w = this.w + t * t;
+  }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.bump(tofloat(i)); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("local-temp accumulation not parallelized: %s", r.Reason)
+	}
+}
+
+func TestConditionOnWrittenFieldRejected(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method add(x: float) {
+    if this.v < 100.0 {
+      this.v = this.v + x;
+    }
+  }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("branch on written field wrongly parallelized")
+	}
+}
+
+func TestConditionalReductionOnUnwrittenFieldCommutes(t *testing.T) {
+	src := `
+class Acc {
+  kind: int;
+  v: float;
+  method add(x: float) {
+    if this.kind == 1 {
+      this.v = this.v + x;
+    }
+  }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("conditional reduction not parallelized: %s", r.Reason)
+	}
+}
+
+func TestUpdateInsideMethodLoopCommutes(t *testing.T) {
+	// A reduction repeated inside a loop is still a reduction.
+	src := `
+class Acc {
+  v: float;
+  method addmany(n: int, x: float) {
+    for k in 0..n {
+      this.v = this.v + x;
+    }
+  }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.addmany(4, 1.0); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Errorf("looped reduction not parallelized: %s", r.Reason)
+	}
+}
+
+func TestPlainAssignInsideMethodLoopRejected(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method setmany(n: int, x: float) {
+    for k in 0..n {
+      this.v = x * tofloat(k);
+    }
+  }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.setmany(4, tofloat(i)); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("looped overwrite wrongly parallelized")
+	}
+}
+
+func TestPrintInExtentRejected(t *testing.T) {
+	src := `
+class Acc {
+  v: float;
+  method add(x: float) { print x; this.v = this.v + x; }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("I/O in extent wrongly parallelized")
+	}
+}
+
+func TestCapturedLocalAssignmentRejected(t *testing.T) {
+	src := `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  let s: int = 0;
+  for i in 0..n {
+    a.add(1.0);
+    s = s + 1;
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("captured-local assignment wrongly parallelized")
+	}
+	if !strings.Contains(r.Reason, "captured") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}
+
+func TestReturnInsideCandidateLoopRejected(t *testing.T) {
+	src := `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  for i in 0..n {
+    a.add(1.0);
+    return;
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if r.Parallel {
+		t.Error("return inside loop wrongly parallelized")
+	}
+}
+
+func TestPairwiseUpdatesBothObjectsCommute(t *testing.T) {
+	// The Water INTERF pattern: each operation updates both molecules of a
+	// pair with sum reductions over read-only positions.
+	src := `
+extern force(a: float, b: float): float cost 100;
+class Mol {
+  pos: float;
+  acc: float;
+  method pair(o: Mol) {
+    let f: float = force(this.pos, o.pos);
+    this.acc = this.acc + f;
+    o.acc = o.acc - f;
+  }
+}
+func interf(ms: Mol[], n: int) {
+  for i in 0..n {
+    for j in 0..n {
+      if j > i {
+        ms[i].pair(ms[j]);
+      }
+    }
+  }
+}
+`
+	reps, _ := analyze(t, src)
+	r := expectOne(t, reps, "interf")
+	if !r.Parallel {
+		t.Errorf("pairwise update not parallelized: %s", r.Reason)
+	}
+}
+
+func TestNestedLoopFallsBackToInner(t *testing.T) {
+	// The outer loop carries a captured-local assignment, but the inner
+	// loop alone commutes: the analysis must parallelize the inner loop.
+	src := `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func run(a: Acc, n: int) {
+  let rounds: int = 0;
+  for r in 0..4 {
+    rounds = rounds + 1;
+    for i in 0..n {
+      a.add(1.0);
+    }
+  }
+}
+`
+	reps, prog := analyze(t, src)
+	if len(reps) != 2 {
+		t.Fatalf("reports = %+v, want outer+inner", reps)
+	}
+	if reps[0].Parallel {
+		t.Error("outer loop wrongly parallel")
+	}
+	if !reps[1].Parallel {
+		t.Errorf("inner loop not parallel: %s", reps[1].Reason)
+	}
+	outer := prog.Funcs[0].Body.Stmts[1].(*ast.ForStmt)
+	inner := outer.Body.Stmts[1].(*ast.ForStmt)
+	if outer.Parallel || !inner.Parallel {
+		t.Error("AST marks wrong")
+	}
+}
+
+func TestTwoSectionsInOneFunctionNamed(t *testing.T) {
+	src := `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func phases(a: Acc, n: int) {
+  for i in 0..n { a.add(1.0); }
+  for i in 0..n { a.add(2.0); }
+}
+`
+	reps, _ := analyze(t, src)
+	if len(reps) != 2 || !reps[0].Parallel || !reps[1].Parallel {
+		t.Fatalf("reports = %+v", reps)
+	}
+	if reps[0].Section != "PHASES" || reps[1].Section != "PHASES#2" {
+		t.Errorf("sections = %q, %q", reps[0].Section, reps[1].Section)
+	}
+}
+
+func TestLoopInExtentFunctionNotACandidate(t *testing.T) {
+	// helper is called from a parallel section; its loop must not itself
+	// become a (nested) parallel section.
+	src := `
+class Acc { v: float; method add(x: float) { this.v = this.v + x; } }
+func helper(a: Acc, n: int) {
+  for k in 0..n { a.add(1.0); }
+}
+func run(a: Acc, n: int) {
+  for i in 0..n { helper(a, 3); }
+}
+`
+	reps, prog := analyze(t, src)
+	r := expectOne(t, reps, "run")
+	if !r.Parallel {
+		t.Fatalf("run loop not parallel: %s", r.Reason)
+	}
+	helperLoop := prog.Funcs[0].Body.Stmts[0].(*ast.ForStmt)
+	if helperLoop.Parallel {
+		t.Error("loop inside extent function marked parallel")
+	}
+}
+
+// Canonicalization properties.
+
+func TestQuickSumCanonCommutative(t *testing.T) {
+	mk := func(seed int64) Sym {
+		switch seed % 4 {
+		case 0:
+			return intConst(seed % 7)
+		case 1:
+			return symVar{name: "x"}
+		case 2:
+			return symField{obj: symVar{name: "R"}, field: "f"}
+		default:
+			return floatConst(float64(seed%5) / 2)
+		}
+	}
+	f := func(a, b, c int64) bool {
+		x, y, z := mk(a), mk(b), mk(c)
+		l := makeSum(makeSum(x, y), z)
+		r := makeSum(z, makeSum(y, x))
+		return l.Canon() == r.Canon()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonIdentities(t *testing.T) {
+	x := symVar{name: "x"}
+	if got := makeSum(x, intConst(0)).Canon(); got != x.Canon() {
+		t.Errorf("x+0 = %s", got)
+	}
+	if got := makeProd(x, intConst(1)).Canon(); got != x.Canon() {
+		t.Errorf("x*1 = %s", got)
+	}
+	if got := makeProd(x, intConst(0)).Canon(); got != intConst(0).Canon() {
+		t.Errorf("x*0 = %s", got)
+	}
+	if got := makeNeg(makeNeg(x)).Canon(); got != x.Canon() {
+		t.Errorf("--x = %s", got)
+	}
+	if got := makeSum(intConst(2), intConst(3)).Canon(); got != intConst(5).Canon() {
+		t.Errorf("2+3 = %s", got)
+	}
+	if got := makeProd(intConst(2), intConst(3)).Canon(); got != intConst(6).Canon() {
+		t.Errorf("2*3 = %s", got)
+	}
+	// a - a does not fold (symbolic terms are not cancelled), but a sum of
+	// pure constants does.
+	if got := makeSum(intConst(4), makeNeg(intConst(4))).Canon(); got != intConst(0).Canon() {
+		t.Errorf("4-4 = %s", got)
+	}
+}
+
+func TestSplitReduction(t *testing.T) {
+	self := symField{obj: symVar{name: "R"}, field: "v"}
+	delta := symVar{name: "d"}
+	kind, got, ok := splitReduction(makeSum(self, delta), self)
+	if !ok || kind != UpdateSum || got.Canon() != delta.Canon() {
+		t.Errorf("sum reduction: kind %v delta %v ok %v", kind, got, ok)
+	}
+	kind, got, ok = splitReduction(makeProd(self, delta), self)
+	if !ok || kind != UpdateProd || got.Canon() != delta.Canon() {
+		t.Errorf("prod reduction: kind %v delta %v ok %v", kind, got, ok)
+	}
+	// Self appearing twice is not a reduction.
+	if _, _, ok := splitReduction(makeSum(self, self), self); ok {
+		t.Error("double self accepted as reduction")
+	}
+	// Plain overwrite.
+	if kind, _, ok := splitReduction(delta, self); ok || kind != UpdateAssign {
+		t.Errorf("overwrite: kind %v ok %v", kind, ok)
+	}
+	// Identity update.
+	if kind, d, ok := splitReduction(self, self); !ok || kind != UpdateSum || d.Canon() != intConst(0).Canon() {
+		t.Errorf("identity update: kind %v delta %v ok %v", kind, d, ok)
+	}
+}

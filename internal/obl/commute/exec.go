@@ -1,0 +1,523 @@
+package commute
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/sema"
+	"repro/internal/obl/token"
+)
+
+// executor symbolically executes one operation body and accumulates its
+// effect summary.
+type executor struct {
+	a  *Analysis
+	ns freshNamer
+
+	locals   map[string]Sym
+	this     Sym
+	captured map[string]bool // loop-root mode: locals captured from outside
+
+	heap    map[string]*heapCell
+	escapes []Sym // values whose field reads are behaviour-relevant
+	invokes map[string]bool
+	reads   map[string]bool // eagerly recorded reads ($elem)
+	blocked []string
+}
+
+type heapCell struct {
+	obj   Sym
+	field string
+	val   Sym
+	// forced overrides classification when hasF is set (by loop/branch
+	// merging); the update is then inexact and dval holds the reads-
+	// relevant delta (for reductions) or value (for assigns), which never
+	// contains the reduction self slot.
+	forced UpdateKind
+	hasF   bool
+	dval   Sym
+}
+
+// classify returns the update kind and reads-relevant delta of a cell with
+// respect to the original (operation-entry) field value.
+func (c *heapCell) classify() (UpdateKind, Sym) {
+	if c.hasF {
+		return c.forced, c.dval
+	}
+	entry := symField{obj: c.obj, field: c.field}
+	kind, delta, _ := splitReduction(c.val, entry)
+	return kind, delta
+}
+
+func newExecutor(a *Analysis, space string) *executor {
+	return &executor{
+		a:       a,
+		ns:      freshNamer{space: space},
+		locals:  map[string]Sym{},
+		heap:    map[string]*heapCell{},
+		invokes: map[string]bool{},
+		reads:   map[string]bool{},
+	}
+}
+
+func (ex *executor) blockf(format string, args ...any) {
+	ex.blocked = append(ex.blocked, fmt.Sprintf(format, args...))
+}
+
+func (ex *executor) escape(s Sym) {
+	if s != nil {
+		ex.escapes = append(ex.escapes, s)
+	}
+}
+
+func (ex *executor) heapKey(obj Sym, field string) string {
+	return obj.Canon() + "\x00" + field
+}
+
+func (ex *executor) heapGet(obj Sym, field string) Sym {
+	if c, ok := ex.heap[ex.heapKey(obj, field)]; ok {
+		return c.val
+	}
+	return symField{obj: obj, field: field}
+}
+
+func (ex *executor) heapSet(obj Sym, field string, val Sym) {
+	ex.heap[ex.heapKey(obj, field)] = &heapCell{obj: obj, field: field, val: val}
+}
+
+// snapshot copies the mutable state for branch/loop analysis.
+type snapshot struct {
+	locals map[string]Sym
+	heap   map[string]*heapCell
+}
+
+func (ex *executor) snap() snapshot {
+	s := snapshot{locals: map[string]Sym{}, heap: map[string]*heapCell{}}
+	for k, v := range ex.locals {
+		s.locals[k] = v
+	}
+	for k, c := range ex.heap {
+		cc := *c
+		s.heap[k] = &cc
+	}
+	return s
+}
+
+func (ex *executor) restore(s snapshot) {
+	ex.locals = s.locals
+	ex.heap = s.heap
+}
+
+// execBlock executes the statements of b; it reports whether the path
+// definitely returned.
+func (ex *executor) execBlock(b *ast.Block) bool {
+	for _, s := range b.Stmts {
+		if ex.execStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *executor) execStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.Block:
+		return ex.execBlock(s)
+	case *ast.LetStmt:
+		if s.Init != nil {
+			ex.locals[s.Name] = ex.eval(s.Init)
+		} else {
+			ex.locals[s.Name] = ex.zeroValue(s.Type)
+		}
+	case *ast.AssignStmt:
+		val := ex.eval(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *ast.Ident:
+			if ex.captured != nil && ex.captured[lhs.Name] {
+				ex.blockf("iteration assigns captured local %q", lhs.Name)
+			}
+			ex.locals[lhs.Name] = val
+		case *ast.FieldExpr:
+			obj := ex.eval(lhs.X)
+			ex.heapSet(obj, lhs.Name, val)
+		case *ast.IndexExpr:
+			arr := ex.eval(lhs.X)
+			idx := ex.eval(lhs.Index)
+			ex.escape(idx)
+			ex.heapSet(arr, "$elem", val)
+		}
+	case *ast.ExprStmt:
+		ex.eval(s.X)
+	case *ast.IfStmt:
+		return ex.execIf(s)
+	case *ast.WhileStmt:
+		ex.escape(ex.eval(s.Cond))
+		ex.execLoopBody(func() bool { return ex.execBlock(s.Body) })
+		ex.escape(ex.eval(s.Cond))
+	case *ast.ForStmt:
+		ex.escape(ex.eval(s.Lo))
+		ex.escape(ex.eval(s.Hi))
+		saved, had := ex.locals[s.Var]
+		ex.locals[s.Var] = ex.ns.fresh("loopvar:" + s.Var)
+		ex.execLoopBody(func() bool { return ex.execBlock(s.Body) })
+		if had {
+			ex.locals[s.Var] = saved
+		} else {
+			delete(ex.locals, s.Var)
+		}
+	case *ast.ReturnStmt:
+		if s.X != nil {
+			ex.escape(ex.eval(s.X))
+		}
+		if ex.captured != nil {
+			ex.blockf("return inside candidate loop body")
+		}
+		return true
+	case *ast.PrintStmt:
+		ex.escape(ex.eval(s.X))
+		ex.blockf("print statement (I/O is order-dependent)")
+	case *ast.SyncBlock:
+		ex.escape(ex.eval(s.Lock))
+		return ex.execBlock(s.Body)
+	}
+	return false
+}
+
+// execIf executes both branches on copies of the state and merges.
+func (ex *executor) execIf(s *ast.IfStmt) bool {
+	ex.escape(ex.eval(s.Cond))
+	pre := ex.snap()
+	thenRet := ex.execBlock(s.Then)
+	thenState := ex.snap()
+	ex.restore(pre)
+	elseRet := false
+	if s.Else != nil {
+		elseRet = ex.execBlock(s.Else)
+	}
+	if thenRet && elseRet {
+		return true
+	}
+	if thenRet {
+		// Only the else path continues; its state is current.
+		return false
+	}
+	if elseRet {
+		ex.restore(thenState)
+		return false
+	}
+	ex.mergeState(thenState)
+	return false
+}
+
+// execLoopBody executes a loop body once and then weakens the state so the
+// summary is sound for any iteration count.
+func (ex *executor) execLoopBody(body func() bool) {
+	pre := ex.snap()
+	if body() && ex.captured != nil {
+		ex.blockf("return inside candidate loop body")
+	}
+	// Locals assigned in the body become loop-merged values that keep the
+	// body value reachable for read analysis.
+	for name, after := range ex.locals {
+		before, had := pre.locals[name]
+		if !had {
+			delete(ex.locals, name) // body-scoped local
+			continue
+		}
+		if before.Canon() != after.Canon() {
+			ex.locals[name] = symApply{fn: ex.ns.fresh("loop").Canon(), args: []Sym{before, after}}
+		}
+	}
+	// Heap cells written in the body: classify the single-iteration effect
+	// relative to the loop-entry value and force that kind, inexactly.
+	for key, cell := range ex.heap {
+		before, had := pre.heap[key]
+		if had && before.val.Canon() == cell.val.Canon() && before.hasF == cell.hasF {
+			continue
+		}
+		var entry Sym
+		if had {
+			entry = before.val
+		} else {
+			entry = symField{obj: cell.obj, field: cell.field}
+		}
+		// The iteration's own effect, relative to the loop entry.
+		iterKind := UpdateAssign
+		var iterDelta Sym
+		if cell.hasF {
+			iterKind, iterDelta = cell.forced, cell.dval
+		} else if k, d, ok := splitReduction(cell.val, entry); ok {
+			iterKind, iterDelta = k, d
+		} else {
+			iterDelta = cell.val
+		}
+		// Compose with whatever the method did to the field before the
+		// loop: an earlier overwrite makes the whole update an overwrite.
+		kind := iterKind
+		var preDelta Sym
+		if had {
+			preKind, pd := before.classify()
+			preDelta = pd
+			if preKind != iterKind {
+				kind = UpdateAssign
+			}
+		}
+		delta := iterDelta
+		if preDelta != nil {
+			delta = symApply{fn: ex.ns.fresh("seq").Canon(), args: []Sym{preDelta, iterDelta}}
+		}
+		cell.forced = kind
+		cell.hasF = true
+		cell.dval = symApply{fn: ex.ns.fresh("loopdelta").Canon(), args: []Sym{delta}}
+		cell.val = symApply{fn: ex.ns.fresh("loopacc").Canon(), args: []Sym{entry, delta}}
+	}
+}
+
+// mergeState merges another branch's state into the current one.
+func (ex *executor) mergeState(other snapshot) {
+	for name, v := range ex.locals {
+		o, had := other.locals[name]
+		if !had {
+			delete(ex.locals, name)
+			continue
+		}
+		if o.Canon() != v.Canon() {
+			ex.locals[name] = symApply{fn: ex.ns.fresh("phi").Canon(), args: []Sym{v, o}}
+		}
+	}
+	merged := map[string]*heapCell{}
+	keys := map[string]bool{}
+	for k := range ex.heap {
+		keys[k] = true
+	}
+	for k := range other.heap {
+		keys[k] = true
+	}
+	for k := range keys {
+		a, hasA := ex.heap[k]
+		b, hasB := other.heap[k]
+		switch {
+		case hasA && hasB && a.val.Canon() == b.val.Canon() && a.hasF == b.hasF && a.forced == b.forced:
+			merged[k] = a
+		default:
+			var cell heapCell
+			if hasA {
+				cell = *a
+			} else {
+				cell = *b
+			}
+			entry := symField{obj: cell.obj, field: cell.field}
+			// A path that left the field unchanged is an identity update,
+			// compatible with any reduction kind the other path performs.
+			sideOf := func(c *heapCell, has bool, other UpdateKind) (UpdateKind, Sym) {
+				if !has {
+					return other, intConst(0)
+				}
+				return c.classify()
+			}
+			var ka, kb UpdateKind
+			var da, db Sym
+			if hasA {
+				ka, da = a.classify()
+				kb, db = sideOf(b, hasB, ka)
+			} else {
+				kb, db = b.classify()
+				ka, da = sideOf(a, hasA, kb)
+			}
+			kind := ka
+			if ka != kb {
+				kind = UpdateAssign
+			}
+			var va, vb Sym = entry, entry
+			if hasA {
+				va = a.val
+			}
+			if hasB {
+				vb = b.val
+			}
+			cell.val = symApply{fn: ex.ns.fresh("phi").Canon(), args: []Sym{va, vb}}
+			cell.dval = symApply{fn: ex.ns.fresh("phidelta").Canon(), args: []Sym{da, db}}
+			cell.forced = kind
+			cell.hasF = true
+			merged[k] = &cell
+		}
+	}
+	ex.heap = merged
+}
+
+func (ex *executor) zeroValue(t ast.Type) Sym {
+	if p, ok := t.(*ast.PrimType); ok {
+		switch p.Name {
+		case "int":
+			return intConst(0)
+		case "float":
+			return floatConst(0)
+		case "bool":
+			return boolConst(false)
+		}
+	}
+	return symConst{text: "nil"}
+}
+
+func (ex *executor) eval(e ast.Expr) Sym {
+	switch e := e.(type) {
+	case nil:
+		return intConst(0)
+	case *ast.IntLit:
+		return intConst(e.Val)
+	case *ast.FloatLit:
+		return floatConst(e.Val)
+	case *ast.BoolLit:
+		return boolConst(e.Val)
+	case *ast.ThisExpr:
+		if ex.this == nil {
+			return ex.ns.fresh("this")
+		}
+		return ex.this
+	case *ast.Ident:
+		if ex.a.Info.RefKinds[e] == sema.RefParam {
+			return symVar{name: "P:" + e.Name}
+		}
+		if v, ok := ex.locals[e.Name]; ok {
+			return v
+		}
+		return ex.ns.fresh("undef:" + e.Name)
+	case *ast.FieldExpr:
+		obj := ex.eval(e.X)
+		return ex.heapGet(obj, e.Name)
+	case *ast.IndexExpr:
+		arr := ex.eval(e.X)
+		idx := ex.eval(e.Index)
+		ex.reads["$elem"] = true
+		if c, ok := ex.heap[ex.heapKey(arr, "$elem")]; ok {
+			return symApply{fn: "index", args: []Sym{arr, idx, c.val}}
+		}
+		return symApply{fn: "index", args: []Sym{arr, idx}}
+	case *ast.CallExpr:
+		return ex.evalCall(e)
+	case *ast.NewExpr:
+		if e.Count != nil {
+			ex.escape(ex.eval(e.Count))
+		}
+		return ex.ns.fresh("new")
+	case *ast.BinExpr:
+		l := ex.eval(e.L)
+		r := ex.eval(e.R)
+		switch e.Op {
+		case token.Plus:
+			return makeSum(l, r)
+		case token.Minus:
+			return makeSum(l, makeNeg(r))
+		case token.Star:
+			return makeProd(l, r)
+		case token.Slash:
+			return symApply{fn: "div", args: []Sym{l, r}}
+		case token.Percent:
+			return symApply{fn: "mod", args: []Sym{l, r}}
+		case token.Eq:
+			return symApply{fn: "eq", args: []Sym{l, r}}
+		case token.NotEq:
+			return symApply{fn: "ne", args: []Sym{l, r}}
+		case token.Lt:
+			return symApply{fn: "lt", args: []Sym{l, r}}
+		case token.LtEq:
+			return symApply{fn: "le", args: []Sym{l, r}}
+		case token.Gt:
+			return symApply{fn: "gt", args: []Sym{l, r}}
+		case token.GtEq:
+			return symApply{fn: "ge", args: []Sym{l, r}}
+		case token.AndAnd:
+			return symApply{fn: "and", args: []Sym{l, r}}
+		case token.OrOr:
+			return symApply{fn: "or", args: []Sym{l, r}}
+		}
+		return ex.ns.fresh("binop")
+	case *ast.UnExpr:
+		x := ex.eval(e.X)
+		if e.Op == token.Minus {
+			return makeNeg(x)
+		}
+		return symApply{fn: "not", args: []Sym{x}}
+	default:
+		return ex.ns.fresh("expr")
+	}
+}
+
+func (ex *executor) evalCall(e *ast.CallExpr) Sym {
+	info := ex.a.Info
+	if name, ok := info.BuiltinCalls[e]; ok {
+		args := make([]Sym, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ex.eval(a)
+		}
+		return symApply{fn: "bi:" + name, args: args}
+	}
+	if ext, ok := info.ExternCalls[e]; ok {
+		args := make([]Sym, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ex.eval(a)
+		}
+		return symApply{fn: "ext:" + ext.Decl.Name, args: args}
+	}
+	if target, ok := info.CallTarget[e]; ok {
+		full := target.FullName()
+		ex.invokes[full] = true
+		args := make([]Sym, 0, len(e.Args)+1)
+		if e.Recv != nil {
+			recv := ex.eval(e.Recv)
+			ex.escape(recv)
+			args = append(args, recv)
+		}
+		for _, a := range e.Args {
+			v := ex.eval(a)
+			ex.escape(v)
+			args = append(args, v)
+		}
+		return symApply{fn: "call:" + full, args: args}
+	}
+	return ex.ns.fresh("call")
+}
+
+// finish assembles the summary from the executor's final state.
+func (ex *executor) finish(name string) *Summary {
+	s := &Summary{
+		Name:    name,
+		Reads:   map[string]bool{},
+		Writes:  map[string]FieldUpdate{},
+		Invokes: ex.invokes,
+	}
+	s.Blockers = append(s.Blockers, ex.blocked...)
+	for f := range ex.reads {
+		s.Reads[f] = true
+	}
+	for _, esc := range ex.escapes {
+		fieldsIn(esc, s.Reads)
+	}
+	keys := make([]string, 0, len(ex.heap))
+	for k := range ex.heap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cell := ex.heap[k]
+		kind, delta := cell.classify()
+		upd := FieldUpdate{Kind: kind, Value: delta, Exact: !cell.hasF}
+		// Reads induced by the update: the delta (or assigned value) and
+		// the identity of the updated object.
+		fieldsIn(upd.Value, s.Reads)
+		fieldsIn(cell.obj, s.Reads)
+		if prev, dup := s.Writes[cell.field]; dup {
+			merged := prev
+			if prev.Kind != upd.Kind {
+				merged = FieldUpdate{Kind: UpdateAssign, Value: upd.Value, Exact: false}
+			} else if !prev.Exact || !upd.Exact || prev.Value.Canon() != upd.Value.Canon() {
+				merged.Exact = false
+			}
+			s.Writes[cell.field] = merged
+		} else {
+			s.Writes[cell.field] = upd
+		}
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+package commute
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sym is a canonicalized symbolic value. Symbolic execution of operation
+// bodies produces Syms for the final values of updated instance variables;
+// the commutativity test compares them structurally, the same way the
+// commutativity-analysis compiler compares corresponding expressions in the
+// two execution orders (§2 and the companion commutativity-analysis work).
+//
+// Canonicalization makes the comparison robust: sums and products are
+// flattened and their operands sorted, constants are folded, and
+// subtraction/negation normalize into sums of negated terms. As in the
+// paper's compiler, this treats floating-point addition and multiplication
+// as associative and commutative.
+type Sym interface {
+	// Canon returns the canonical text of the value. Two Syms are
+	// semantically interchangeable for the analysis iff their Canon strings
+	// are equal.
+	Canon() string
+}
+
+// symConst is a numeric or boolean constant.
+type symConst struct{ text string }
+
+// symVar is an opaque scalar or object symbol: formal parameters
+// ("A:name"), the shared receiver ("R"), loop variables, phi/havoc values.
+type symVar struct{ name string }
+
+// symField is the value of obj.field at operation entry.
+type symField struct {
+	obj   Sym
+	field string
+}
+
+// symApply is an application of a pure function: extern calls, builtins,
+// method-call results, non-commutative arithmetic (div, mod), comparisons,
+// array indexing, and phi/loop summaries.
+type symApply struct {
+	fn   string
+	args []Sym
+}
+
+// symSum is a flattened, sorted sum. Terms may be symNeg.
+type symSum struct{ terms []Sym }
+
+// symProd is a flattened, sorted product.
+type symProd struct{ factors []Sym }
+
+// symNeg is arithmetic negation.
+type symNeg struct{ x Sym }
+
+func (s symConst) Canon() string { return s.text }
+func (s symVar) Canon() string   { return "$" + s.name }
+func (s symField) Canon() string {
+	return "fld(" + s.obj.Canon() + "," + s.field + ")"
+}
+func (s symApply) Canon() string {
+	parts := make([]string, len(s.args))
+	for i, a := range s.args {
+		parts[i] = a.Canon()
+	}
+	return s.fn + "(" + strings.Join(parts, ",") + ")"
+}
+func (s symSum) Canon() string {
+	parts := make([]string, len(s.terms))
+	for i, a := range s.terms {
+		parts[i] = a.Canon()
+	}
+	return "sum(" + strings.Join(parts, ",") + ")"
+}
+func (s symProd) Canon() string {
+	parts := make([]string, len(s.factors))
+	for i, a := range s.factors {
+		parts[i] = a.Canon()
+	}
+	return "prod(" + strings.Join(parts, ",") + ")"
+}
+func (s symNeg) Canon() string { return "neg(" + s.x.Canon() + ")" }
+
+func intConst(v int64) Sym     { return symConst{text: strconv.FormatInt(v, 10)} }
+func floatConst(v float64) Sym { return symConst{text: strconv.FormatFloat(v, 'g', -1, 64) + "f"} }
+func boolConst(v bool) Sym     { return symConst{text: strconv.FormatBool(v)} }
+
+// makeSum builds a canonical sum: flattens nested sums, drops zero
+// constants, folds integer constants, sorts terms, and collapses trivial
+// cases.
+func makeSum(terms ...Sym) Sym {
+	var flat []Sym
+	var intAcc int64
+	intSeen := false
+	var visit func(t Sym, neg bool)
+	visit = func(t Sym, neg bool) {
+		switch t := t.(type) {
+		case symSum:
+			for _, x := range t.terms {
+				visit(x, neg)
+			}
+		case symNeg:
+			visit(t.x, !neg)
+		case symConst:
+			if v, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+				if neg {
+					v = -v
+				}
+				intAcc += v
+				intSeen = true
+				return
+			}
+			if neg {
+				flat = append(flat, symNeg{x: t})
+			} else {
+				flat = append(flat, t)
+			}
+		default:
+			if neg {
+				flat = append(flat, symNeg{x: t})
+			} else {
+				flat = append(flat, t)
+			}
+		}
+	}
+	for _, t := range terms {
+		visit(t, false)
+	}
+	if intSeen && intAcc != 0 {
+		flat = append(flat, intConst(intAcc))
+	}
+	if len(flat) == 0 {
+		return intConst(0)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].Canon() < flat[j].Canon() })
+	return symSum{terms: flat}
+}
+
+// makeProd builds a canonical product: flattens, folds integer constants,
+// drops unit factors, sorts.
+func makeProd(factors ...Sym) Sym {
+	var flat []Sym
+	var intAcc int64 = 1
+	intSeen := false
+	for _, f := range factors {
+		switch f := f.(type) {
+		case symProd:
+			flat = append(flat, f.factors...)
+		case symConst:
+			if v, err := strconv.ParseInt(f.text, 10, 64); err == nil {
+				intAcc *= v
+				intSeen = true
+				continue
+			}
+			flat = append(flat, f)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	if intSeen && intAcc == 0 {
+		return intConst(0)
+	}
+	if intSeen && intAcc != 1 {
+		flat = append(flat, intConst(intAcc))
+	}
+	if len(flat) == 0 {
+		return intConst(1)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].Canon() < flat[j].Canon() })
+	return symProd{factors: flat}
+}
+
+func makeNeg(x Sym) Sym {
+	if n, ok := x.(symNeg); ok {
+		return n.x
+	}
+	if c, ok := x.(symConst); ok {
+		if v, err := strconv.ParseInt(c.text, 10, 64); err == nil {
+			return intConst(-v)
+		}
+	}
+	return symNeg{x: x}
+}
+
+// fieldsIn collects the names of every field read appearing in s.
+func fieldsIn(s Sym, out map[string]bool) {
+	switch s := s.(type) {
+	case symField:
+		out[s.field] = true
+		fieldsIn(s.obj, out)
+	case symApply:
+		for _, a := range s.args {
+			fieldsIn(a, out)
+		}
+	case symSum:
+		for _, a := range s.terms {
+			fieldsIn(a, out)
+		}
+	case symProd:
+		for _, a := range s.factors {
+			fieldsIn(a, out)
+		}
+	case symNeg:
+		fieldsIn(s.x, out)
+	}
+}
+
+// splitReduction checks whether final is a commutative reduction of the
+// initial value self (the Sym for obj.field at entry): final must be a sum
+// or product containing self exactly once at the top level. It returns the
+// reduction kind and the delta (the rest of the sum/product).
+func splitReduction(final Sym, self Sym) (UpdateKind, Sym, bool) {
+	selfCanon := self.Canon()
+	if final.Canon() == selfCanon {
+		// Unchanged value: identity update, compatible with anything that
+		// also leaves the field alone; model as a Sum with zero delta.
+		return UpdateSum, intConst(0), true
+	}
+	switch f := final.(type) {
+	case symSum:
+		rest, found := removeOnce(f.terms, selfCanon)
+		if found {
+			return UpdateSum, makeSum(rest...), true
+		}
+	case symProd:
+		rest, found := removeOnce(f.factors, selfCanon)
+		if found {
+			return UpdateProd, makeProd(rest...), true
+		}
+	}
+	return UpdateAssign, final, false
+}
+
+// removeOnce removes exactly one element with the given canon from list;
+// it fails if the element appears zero or multiple times.
+func removeOnce(list []Sym, canon string) ([]Sym, bool) {
+	idx := -1
+	count := 0
+	for i, t := range list {
+		if t.Canon() == canon {
+			count++
+			idx = i
+		}
+	}
+	if count != 1 {
+		return nil, false
+	}
+	out := make([]Sym, 0, len(list)-1)
+	out = append(out, list[:idx]...)
+	out = append(out, list[idx+1:]...)
+	return out, true
+}
+
+// freshNamer hands out distinct opaque symbols (for havoc'd locals, phi
+// values, loop summaries, allocation results). Each summary build owns one,
+// so summaries are deterministic and builds are independent.
+type freshNamer struct {
+	space string
+	n     int
+}
+
+func (f *freshNamer) fresh(prefix string) Sym {
+	f.n++
+	return symVar{name: fmt.Sprintf("%s:%s#%d", f.space, prefix, f.n)}
+}

@@ -1,0 +1,198 @@
+package lower
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obl/ir"
+)
+
+// Dedup merges functions whose generated code is identical, up to the
+// identity of (recursively identical) callees. This reproduces the paper's
+// code-size optimization: "an algorithm in the compiler locates closed
+// subgraphs of the call graph that are the same for all optimization
+// policies; the compiler generates a single version of each method in the
+// subgraph, instead of one version per synchronization optimization
+// policy" (§4.2). It also merges parallel-section versions whose code
+// coincides, as happens for the Water INTERF and POTENG sections (§6.2).
+//
+// The algorithm is partition refinement (as in DFA minimization): start
+// with classes keyed by code shape with call targets blanked, then
+// repeatedly split classes whose members disagree on the classes of their
+// callees, until stable. This handles recursion correctly (the equality is
+// coinductive).
+func Dedup(p *ir.Program) {
+	n := len(p.Funcs)
+	class := make([]int, n)
+	// Initial partition by shape.
+	shapeClass := map[string]int{}
+	for i, f := range p.Funcs {
+		s := shape(f)
+		c, ok := shapeClass[s]
+		if !ok {
+			c = len(shapeClass)
+			shapeClass[s] = c
+		}
+		class[i] = c
+	}
+	// Refine: split classes whose members disagree on callee classes, until
+	// the number of classes is stable (classes only ever split).
+	count := len(shapeClass)
+	for {
+		sigClass := map[string]int{}
+		next := make([]int, n)
+		for i, f := range p.Funcs {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", class[i])
+			for _, in := range f.Code {
+				if in.Op == ir.OpCall {
+					fmt.Fprintf(&b, ",%d", class[in.Imm])
+				}
+			}
+			s := b.String()
+			c, ok := sigClass[s]
+			if !ok {
+				c = len(sigClass)
+				sigClass[s] = c
+			}
+			next[i] = c
+		}
+		class = next
+		if len(sigClass) == count {
+			break
+		}
+		count = len(sigClass)
+	}
+	// Representative per class: lowest function ID.
+	repr := map[int]int{}
+	for i := range p.Funcs {
+		if r, ok := repr[class[i]]; !ok || i < r {
+			repr[class[i]] = i
+		}
+	}
+	redirect := make([]int, n)
+	for i := range p.Funcs {
+		redirect[i] = repr[class[i]]
+	}
+	// Rewrite call sites in representatives.
+	for i, f := range p.Funcs {
+		if redirect[i] != i {
+			continue
+		}
+		for pc := range f.Code {
+			if f.Code[pc].Op == ir.OpCall {
+				f.Code[pc].Imm = int64(redirect[f.Code[pc].Imm])
+			}
+		}
+	}
+	// Rewrite section versions, merging versions that now share code.
+	for _, sec := range p.Sections {
+		var merged []ir.Version
+		byFunc := map[string]int{}
+		newPV := map[string]int{}
+		for _, v := range sec.Versions {
+			fid := redirect[v.FuncID]
+			key := fmt.Sprintf("%d|%v", fid, v.Flags)
+			if mi, ok := byFunc[key]; ok {
+				merged[mi].Policies = append(merged[mi].Policies, v.Policies...)
+				for _, pol := range v.Policies {
+					newPV[pol] = mi
+				}
+				continue
+			}
+			mi := len(merged)
+			byFunc[key] = mi
+			nv := v
+			nv.FuncID = fid
+			nv.Policies = append([]string{}, v.Policies...)
+			merged = append(merged, nv)
+			for _, pol := range v.Policies {
+				newPV[pol] = mi
+			}
+		}
+		sec.Versions = merged
+		sec.PolicyVersion = newPV
+	}
+	p.MainID = redirect[p.MainID]
+	// Garbage-collect unreachable functions and compact IDs.
+	reach := map[int]bool{}
+	var stack []int
+	push := func(id int) {
+		if !reach[id] {
+			reach[id] = true
+			stack = append(stack, id)
+		}
+	}
+	push(p.MainID)
+	for _, sec := range p.Sections {
+		for _, v := range sec.Versions {
+			push(v.FuncID)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range p.Funcs[id].Code {
+			if in.Op == ir.OpCall {
+				push(int(in.Imm))
+			}
+		}
+	}
+	kept := make([]int, 0, len(reach))
+	for id := range reach {
+		kept = append(kept, id)
+	}
+	sort.Ints(kept)
+	newID := make([]int, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	var funcs []*ir.Func
+	for _, id := range kept {
+		newID[id] = len(funcs)
+		funcs = append(funcs, p.Funcs[id])
+	}
+	for _, f := range funcs {
+		for pc := range f.Code {
+			if f.Code[pc].Op == ir.OpCall {
+				f.Code[pc].Imm = int64(newID[f.Code[pc].Imm])
+			}
+		}
+	}
+	for _, sec := range p.Sections {
+		for i := range sec.Versions {
+			sec.Versions[i].FuncID = newID[sec.Versions[i].FuncID]
+		}
+	}
+	p.MainID = newID[p.MainID]
+	// Names resolve through redirection so lookups by any policy-suffixed
+	// name still work.
+	newByName := map[string]int{}
+	for name, id := range p.FuncByName {
+		target := newID[redirect[id]]
+		if target >= 0 {
+			newByName[name] = target
+		}
+	}
+	p.Funcs = funcs
+	p.FuncByName = newByName
+}
+
+// shape serializes a function's code with call targets blanked.
+func shape(f *ir.Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d r%d;", f.NParams, f.NRegs)
+	for _, in := range f.Code {
+		imm := in.Imm
+		if in.Op == ir.OpCall {
+			imm = 0
+		}
+		fmt.Fprintf(&b, "%d %d %d %d %d %d %g", in.Op, in.Dst, in.A, in.B, in.C, imm, in.F)
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, " %d", a)
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}

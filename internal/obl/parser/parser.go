@@ -1,0 +1,499 @@
+// Package parser implements a recursive-descent parser for OBL.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/lexer"
+	"repro/internal/obl/token"
+)
+
+// Parse parses a complete OBL program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.bump()
+	prog := p.parseProgram()
+	p.errs = append(p.errs, p.lex.Errors()...)
+	if len(p.errs) > 0 {
+		msgs := make([]string, len(p.errs))
+		for i, e := range p.errs {
+			msgs[i] = e.Error()
+		}
+		return nil, errors.New(strings.Join(msgs, "\n"))
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	errs []error
+}
+
+// parseError aborts the current production via panic; parseProgram recovers
+// at declaration boundaries.
+type parseError struct{ err error }
+
+func (p *parser) bump() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(format string, args ...any) {
+	err := fmt.Errorf("%s: %s", p.tok.Pos, fmt.Sprintf(format, args...))
+	p.errs = append(p.errs, err)
+	panic(parseError{err})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.tok.Kind != k {
+		p.errorf("expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.bump()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.bump()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		p.declRecover(prog)
+	}
+	return prog
+}
+
+// declRecover parses one top-level declaration, skipping to the next
+// likely declaration start on error.
+func (p *parser) declRecover(prog *ast.Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(parseError); !ok {
+				panic(r)
+			}
+			for p.tok.Kind != token.EOF {
+				switch p.tok.Kind {
+				case token.KwClass, token.KwFunc, token.KwExtern, token.KwParam:
+					return
+				}
+				p.bump()
+			}
+		}
+	}()
+	switch p.tok.Kind {
+	case token.KwClass:
+		prog.Classes = append(prog.Classes, p.parseClass())
+	case token.KwFunc:
+		prog.Funcs = append(prog.Funcs, p.parseFunc("", token.KwFunc))
+	case token.KwExtern:
+		prog.Externs = append(prog.Externs, p.parseExtern())
+	case token.KwParam:
+		prog.Params = append(prog.Params, p.parseParamDecl())
+	default:
+		p.errorf("expected declaration, found %s", p.tok)
+	}
+}
+
+func (p *parser) parseClass() *ast.ClassDecl {
+	pos := p.expect(token.KwClass).Pos
+	name := p.expect(token.Ident).Lit
+	p.expect(token.LBrace)
+	d := &ast.ClassDecl{P: pos, Name: name}
+	for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+		if p.tok.Kind == token.KwMethod {
+			m := p.parseFunc(name, token.KwMethod)
+			d.Methods = append(d.Methods, m)
+			continue
+		}
+		fpos := p.tok.Pos
+		fname := p.expect(token.Ident).Lit
+		p.expect(token.Colon)
+		ft := p.parseType()
+		p.expect(token.Semicolon)
+		d.Fields = append(d.Fields, &ast.FieldDecl{P: fpos, Name: fname, Type: ft})
+	}
+	p.expect(token.RBrace)
+	return d
+}
+
+func (p *parser) parseFunc(class string, kw token.Kind) *ast.FuncDecl {
+	pos := p.expect(kw).Pos
+	name := p.expect(token.Ident).Lit
+	d := &ast.FuncDecl{P: pos, Class: class, Name: name}
+	d.Params = p.parseParamList()
+	if p.accept(token.Colon) {
+		d.Result = p.parseType()
+	}
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseExtern() *ast.ExternDecl {
+	pos := p.expect(token.KwExtern).Pos
+	name := p.expect(token.Ident).Lit
+	d := &ast.ExternDecl{P: pos, Name: name}
+	d.Params = p.parseParamList()
+	if p.accept(token.Colon) {
+		d.Result = p.parseType()
+	}
+	if p.accept(token.KwCost) {
+		d.Cost = p.parseIntLit()
+	}
+	p.expect(token.Semicolon)
+	return d
+}
+
+func (p *parser) parseParamDecl() *ast.ParamDecl {
+	pos := p.expect(token.KwParam).Pos
+	name := p.expect(token.Ident).Lit
+	p.expect(token.Colon)
+	t := p.expect(token.KwIntType)
+	_ = t
+	p.expect(token.Assign)
+	val := p.parseIntLit()
+	p.expect(token.Semicolon)
+	return &ast.ParamDecl{P: pos, Name: name, Default: val}
+}
+
+func (p *parser) parseIntLit() int64 {
+	neg := p.accept(token.Minus)
+	t := p.expect(token.Int)
+	v, err := strconv.ParseInt(t.Lit, 10, 64)
+	if err != nil {
+		p.errorf("bad integer literal %q", t.Lit)
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func (p *parser) parseParamList() []*ast.ParamSpec {
+	p.expect(token.LParen)
+	var out []*ast.ParamSpec
+	for p.tok.Kind != token.RParen {
+		if len(out) > 0 {
+			p.expect(token.Comma)
+		}
+		pos := p.tok.Pos
+		name := p.expect(token.Ident).Lit
+		p.expect(token.Colon)
+		t := p.parseType()
+		out = append(out, &ast.ParamSpec{P: pos, Name: name, Type: t})
+	}
+	p.expect(token.RParen)
+	return out
+}
+
+func (p *parser) parseType() ast.Type {
+	pos := p.tok.Pos
+	var t ast.Type
+	switch p.tok.Kind {
+	case token.KwIntType:
+		p.bump()
+		t = &ast.PrimType{P: pos, Name: "int"}
+	case token.KwFloatType:
+		p.bump()
+		t = &ast.PrimType{P: pos, Name: "float"}
+	case token.KwBoolType:
+		p.bump()
+		t = &ast.PrimType{P: pos, Name: "bool"}
+	case token.Ident:
+		t = &ast.ClassType{P: pos, Name: p.tok.Lit}
+		p.bump()
+	default:
+		p.errorf("expected type, found %s", p.tok)
+	}
+	for p.tok.Kind == token.LBracket {
+		p.bump()
+		p.expect(token.RBracket)
+		t = &ast.ArrayType{P: pos, Elem: t}
+	}
+	return t
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	pos := p.expect(token.LBrace).Pos
+	b := &ast.Block{P: pos}
+	for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwLet:
+		p.bump()
+		name := p.expect(token.Ident).Lit
+		p.expect(token.Colon)
+		t := p.parseType()
+		var init ast.Expr
+		if p.accept(token.Assign) {
+			init = p.parseExpr()
+		}
+		p.expect(token.Semicolon)
+		return &ast.LetStmt{P: pos, Name: name, Type: t, Init: init}
+	case token.KwIf:
+		p.bump()
+		cond := p.parseExpr()
+		then := p.parseBlock()
+		var els *ast.Block
+		if p.accept(token.KwElse) {
+			if p.tok.Kind == token.KwIf {
+				inner := p.parseStmt()
+				els = &ast.Block{P: inner.Pos(), Stmts: []ast.Stmt{inner}}
+			} else {
+				els = p.parseBlock()
+			}
+		}
+		return &ast.IfStmt{P: pos, Cond: cond, Then: then, Else: els}
+	case token.KwWhile:
+		p.bump()
+		cond := p.parseExpr()
+		body := p.parseBlock()
+		return &ast.WhileStmt{P: pos, Cond: cond, Body: body}
+	case token.KwFor:
+		p.bump()
+		v := p.expect(token.Ident).Lit
+		p.expect(token.KwIn)
+		lo := p.parseExpr()
+		p.expect(token.DotDot)
+		hi := p.parseExpr()
+		body := p.parseBlock()
+		return &ast.ForStmt{P: pos, Var: v, Lo: lo, Hi: hi, Body: body}
+	case token.KwReturn:
+		p.bump()
+		var x ast.Expr
+		if p.tok.Kind != token.Semicolon {
+			x = p.parseExpr()
+		}
+		p.expect(token.Semicolon)
+		return &ast.ReturnStmt{P: pos, X: x}
+	case token.KwPrint:
+		p.bump()
+		x := p.parseExpr()
+		p.expect(token.Semicolon)
+		return &ast.PrintStmt{P: pos, X: x}
+	default:
+		x := p.parseExpr()
+		if p.accept(token.Assign) {
+			rhs := p.parseExpr()
+			p.expect(token.Semicolon)
+			switch x.(type) {
+			case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr:
+			default:
+				p.errorf("invalid assignment target")
+			}
+			return &ast.AssignStmt{P: pos, LHS: x, RHS: rhs}
+		}
+		p.expect(token.Semicolon)
+		return &ast.ExprStmt{P: pos, X: x}
+	}
+}
+
+// Precedence climbing.
+
+func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.tok.Kind == token.OrOr {
+		pos := p.tok.Pos
+		p.bump()
+		x = &ast.BinExpr{P: pos, Op: token.OrOr, L: x, R: p.parseAnd()}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	x := p.parseCmp()
+	for p.tok.Kind == token.AndAnd {
+		pos := p.tok.Pos
+		p.bump()
+		x = &ast.BinExpr{P: pos, Op: token.AndAnd, L: x, R: p.parseCmp()}
+	}
+	return x
+}
+
+func (p *parser) parseCmp() ast.Expr {
+	x := p.parseAdd()
+	for {
+		switch p.tok.Kind {
+		case token.Eq, token.NotEq, token.Lt, token.LtEq, token.Gt, token.GtEq:
+			op := p.tok.Kind
+			pos := p.tok.Pos
+			p.bump()
+			x = &ast.BinExpr{P: pos, Op: op, L: x, R: p.parseAdd()}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parseAdd() ast.Expr {
+	x := p.parseMul()
+	for p.tok.Kind == token.Plus || p.tok.Kind == token.Minus {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.bump()
+		x = &ast.BinExpr{P: pos, Op: op, L: x, R: p.parseMul()}
+	}
+	return x
+}
+
+func (p *parser) parseMul() ast.Expr {
+	x := p.parseUnary()
+	for p.tok.Kind == token.Star || p.tok.Kind == token.Slash || p.tok.Kind == token.Percent {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.bump()
+		x = &ast.BinExpr{P: pos, Op: op, L: x, R: p.parseUnary()}
+	}
+	return x
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.Minus:
+		pos := p.tok.Pos
+		p.bump()
+		return &ast.UnExpr{P: pos, Op: token.Minus, X: p.parseUnary()}
+	case token.Not:
+		pos := p.tok.Pos
+		p.bump()
+		return &ast.UnExpr{P: pos, Op: token.Not, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case token.Dot:
+			pos := p.tok.Pos
+			p.bump()
+			name := p.expect(token.Ident).Lit
+			if p.tok.Kind == token.LParen {
+				args := p.parseArgs()
+				x = &ast.CallExpr{P: pos, Recv: x, Name: name, Args: args}
+			} else {
+				x = &ast.FieldExpr{P: pos, X: x, Name: name}
+			}
+		case token.LBracket:
+			pos := p.tok.Pos
+			p.bump()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			x = &ast.IndexExpr{P: pos, X: x, Index: idx}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	p.expect(token.LParen)
+	var args []ast.Expr
+	for p.tok.Kind != token.RParen {
+		if len(args) > 0 {
+			p.expect(token.Comma)
+		}
+		args = append(args, p.parseExpr())
+	}
+	p.expect(token.RParen)
+	return args
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.Int:
+		v, err := strconv.ParseInt(p.tok.Lit, 10, 64)
+		if err != nil {
+			p.errorf("bad integer literal %q", p.tok.Lit)
+		}
+		p.bump()
+		return &ast.IntLit{P: pos, Val: v}
+	case token.Float:
+		v, err := strconv.ParseFloat(p.tok.Lit, 64)
+		if err != nil {
+			p.errorf("bad float literal %q", p.tok.Lit)
+		}
+		p.bump()
+		return &ast.FloatLit{P: pos, Val: v}
+	case token.KwTrue:
+		p.bump()
+		return &ast.BoolLit{P: pos, Val: true}
+	case token.KwFalse:
+		p.bump()
+		return &ast.BoolLit{P: pos, Val: false}
+	case token.KwThis:
+		p.bump()
+		return &ast.ThisExpr{P: pos}
+	case token.KwNew:
+		p.bump()
+		t := p.parseBaseType()
+		if p.accept(token.LBracket) {
+			n := p.parseExpr()
+			p.expect(token.RBracket)
+			return &ast.NewExpr{P: pos, Type: t, Count: n}
+		}
+		p.expect(token.LParen)
+		p.expect(token.RParen)
+		return &ast.NewExpr{P: pos, Type: t}
+	case token.Ident:
+		name := p.tok.Lit
+		p.bump()
+		if p.tok.Kind == token.LParen {
+			args := p.parseArgs()
+			return &ast.CallExpr{P: pos, Name: name, Args: args}
+		}
+		return &ast.Ident{P: pos, Name: name}
+	case token.LParen:
+		p.bump()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	default:
+		p.errorf("expected expression, found %s", p.tok)
+		return nil
+	}
+}
+
+// parseBaseType parses a non-array type for new expressions; "new T[n]"
+// means an array of T, so the [] is consumed by the caller.
+func (p *parser) parseBaseType() ast.Type {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.KwIntType:
+		p.bump()
+		return &ast.PrimType{P: pos, Name: "int"}
+	case token.KwFloatType:
+		p.bump()
+		return &ast.PrimType{P: pos, Name: "float"}
+	case token.KwBoolType:
+		p.bump()
+		return &ast.PrimType{P: pos, Name: "bool"}
+	case token.Ident:
+		t := &ast.ClassType{P: pos, Name: p.tok.Lit}
+		p.bump()
+		return t
+	default:
+		p.errorf("expected type after new, found %s", p.tok)
+		return nil
+	}
+}

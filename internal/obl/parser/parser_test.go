@@ -1,0 +1,225 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obl/ast"
+)
+
+// figure1 is the paper's Figure 1 example program, transliterated to OBL.
+const figure1 = `
+extern interact(a: float, b: float): float cost 9000;
+
+class Body {
+  pos: float;
+  sum: float;
+  method one_interaction(b: Body) {
+    let val: float = interact(this.pos, b.pos);
+    this.sum = this.sum + val;
+  }
+  method interactions(bs: Body[], n: int) {
+    for i in 0..n {
+      this.one_interaction(bs[i]);
+    }
+  }
+}
+
+param nbodies: int = 16;
+
+func main() {
+  let bodies: Body[] = new Body[nbodies];
+  for i in 0..nbodies {
+    bodies[i] = new Body();
+    bodies[i].pos = tofloat(i);
+  }
+  for i in 0..nbodies {
+    bodies[i].interactions(bodies, nbodies);
+  }
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 1 || prog.Classes[0].Name != "Body" {
+		t.Fatalf("classes = %v", prog.Classes)
+	}
+	c := prog.Classes[0]
+	if len(c.Fields) != 2 || c.Fields[0].Name != "pos" || c.Fields[1].Name != "sum" {
+		t.Errorf("fields wrong: %+v", c.Fields)
+	}
+	if len(c.Methods) != 2 {
+		t.Fatalf("methods = %d, want 2", len(c.Methods))
+	}
+	if got := c.Methods[0].FullName(); got != "Body::one_interaction" {
+		t.Errorf("FullName = %q", got)
+	}
+	if len(prog.Externs) != 1 || prog.Externs[0].Cost != 9000 {
+		t.Errorf("externs = %+v", prog.Externs)
+	}
+	if len(prog.Params) != 1 || prog.Params[0].Default != 16 {
+		t.Errorf("params = %+v", prog.Params)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Errorf("funcs = %+v", prog.Funcs)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`func f(): int { return 1 + 2 * 3 - 4 % 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	got := ast.ExprString(ret.X)
+	want := "((1 + (2 * 3)) - (4 % 5))"
+	if got != want {
+		t.Errorf("expr = %s, want %s", got, want)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	prog, err := Parse(`func f(a: bool, b: bool, c: bool): bool { return a || b && c == a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	got := ast.ExprString(ret.X)
+	want := "(a || (b && (c == a)))"
+	if got != want {
+		t.Errorf("expr = %s, want %s", got, want)
+	}
+}
+
+func TestParseUnaryAndPostfix(t *testing.T) {
+	prog, err := Parse(`func f(a: Body, xs: Body[]) { a.x = -xs[3].m(1, 2).y; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Funcs[0].Body.Stmts[0].(*ast.AssignStmt)
+	if got := ast.ExprString(as.RHS); got != "-xs[3].m(1, 2).y" {
+		t.Errorf("rhs = %s", got)
+	}
+	if got := ast.ExprString(as.LHS); got != "a.x" {
+		t.Errorf("lhs = %s", got)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+func f(n: int): int {
+  let s: int = 0;
+  for i in 0..n {
+    if i % 2 == 0 {
+      s = s + i;
+    } else if i > 10 {
+      s = s - 1;
+    } else {
+      s = s + 1;
+    }
+  }
+  while s > 100 {
+    s = s / 2;
+  }
+  return s;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs[0].Body
+	if len(body.Stmts) != 4 {
+		t.Fatalf("stmts = %d, want 4", len(body.Stmts))
+	}
+	forStmt, ok := body.Stmts[1].(*ast.ForStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", body.Stmts[1])
+	}
+	ifStmt := forStmt.Body.Stmts[0].(*ast.IfStmt)
+	if ifStmt.Else == nil {
+		t.Fatal("else missing")
+	}
+	if _, ok := ifStmt.Else.Stmts[0].(*ast.IfStmt); !ok {
+		t.Errorf("else-if not nested: %T", ifStmt.Else.Stmts[0])
+	}
+}
+
+func TestParseNewForms(t *testing.T) {
+	prog, err := Parse(`func f() { let a: int[] = new int[10]; let b: Body = new Body(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	let0 := prog.Funcs[0].Body.Stmts[0].(*ast.LetStmt)
+	n0 := let0.Init.(*ast.NewExpr)
+	if n0.Count == nil {
+		t.Error("array new lost count")
+	}
+	let1 := prog.Funcs[0].Body.Stmts[1].(*ast.LetStmt)
+	n1 := let1.Init.(*ast.NewExpr)
+	if n1.Count != nil {
+		t.Error("object new has count")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func f( { }`,
+		`class { }`,
+		`func f() { let x = 3; }`,    // missing type
+		`func f() { x + ; }`,         // bad expression
+		`func f() { 1 + 2 = 3; }`,    // bad assignment target
+		`param p: float = 1;`,        // params are int-only
+		`func f() { for i in 0 { }}`, // missing ..
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestParseRecoversMultipleErrors(t *testing.T) {
+	src := "func f() { let ; }\nfunc g() { return +; }\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := len(strings.Split(err.Error(), "\n")); n < 2 {
+		t.Errorf("want ≥2 errors, got %d: %v", n, err)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(prog)
+	reparsed, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	if ast.Print(reparsed) != printed {
+		t.Error("print not stable under reparse")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	prog, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Classes[0].Methods[0]
+	cp := ast.CloneFunc(m)
+	if ast.PrintFunc(cp) != ast.PrintFunc(m) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	cp.Body.Stmts = cp.Body.Stmts[:1]
+	if len(m.Body.Stmts) != 2 {
+		t.Error("clone mutation leaked into original")
+	}
+}

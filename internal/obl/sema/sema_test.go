@@ -1,0 +1,278 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+const goodProgram = `
+extern interact(a: float, b: float): float cost 9000;
+param n: int = 8;
+
+class Body {
+  pos: float;
+  sum: float;
+  method one_interaction(b: Body) {
+    let val: float = interact(this.pos, b.pos);
+    this.sum = this.sum + val;
+  }
+  method interactions(bs: Body[], cnt: int) {
+    for i in 0..cnt {
+      this.one_interaction(bs[i]);
+    }
+  }
+}
+
+func total(bs: Body[]): float {
+  let s: float = 0.0;
+  for i in 0..len(bs) {
+    s = s + bs[i].sum;
+  }
+  return s;
+}
+
+func main() {
+  let bodies: Body[] = new Body[n];
+  for i in 0..n {
+    bodies[i] = new Body();
+    bodies[i].pos = tofloat(i);
+  }
+  for i in 0..n {
+    bodies[i].interactions(bodies, n);
+  }
+  print total(bodies);
+}
+`
+
+func TestCheckGoodProgram(t *testing.T) {
+	info := mustCheck(t, goodProgram)
+	if len(info.Classes) != 1 {
+		t.Fatalf("classes = %d", len(info.Classes))
+	}
+	body := info.Classes["Body"]
+	if body.FieldBy["pos"].Index != 0 || body.FieldBy["sum"].Index != 1 {
+		t.Errorf("field indices wrong: %+v", body.FieldBy)
+	}
+	if info.Methods["Body::one_interaction"] == nil {
+		t.Error("method table missing one_interaction")
+	}
+	if info.Funcs["main"] == nil || info.Funcs["total"] == nil {
+		t.Error("function table incomplete")
+	}
+	if info.Params["n"] != 8 {
+		t.Errorf("param n = %d", info.Params["n"])
+	}
+	if got := info.FuncByFullName("Body::interactions"); got == nil {
+		t.Error("FuncByFullName failed for method")
+	}
+	if got := len(info.AllFuncs()); got != 4 {
+		t.Errorf("AllFuncs = %d, want 4", got)
+	}
+}
+
+func TestCallResolution(t *testing.T) {
+	info := mustCheck(t, goodProgram)
+	var externCalls, methodCalls, builtinCalls int
+	for range info.ExternCalls {
+		externCalls++
+	}
+	for _, fi := range info.CallTarget {
+		if fi.Class != nil {
+			methodCalls++
+		}
+	}
+	for range info.BuiltinCalls {
+		builtinCalls++
+	}
+	if externCalls != 1 {
+		t.Errorf("extern calls = %d, want 1", externCalls)
+	}
+	if methodCalls != 2 {
+		t.Errorf("method calls = %d, want 2", methodCalls)
+	}
+	if builtinCalls != 2 { // tofloat, len
+		t.Errorf("builtin calls = %d, want 2", builtinCalls)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"int-float mix", `func f() { let x: int = 1 + 2.0; }`, "arithmetic"},
+		{"mod float", `func f() { let x: float = 2.0 % 1.0; }`, "int operands"},
+		{"bad cond", `func f() { if 1 { } }`, "must be bool"},
+		{"bad while", `func f() { while 1 { } }`, "must be bool"},
+		{"bad bound", `func f() { for i in 0..1.5 { } }`, "must be int"},
+		{"undefined var", `func f() { x = 1; }`, "undefined"},
+		{"undefined func", `func f() { g(); }`, "undefined function"},
+		{"undefined class", `func f(x: Foo) { }`, "unknown class"},
+		{"no field", `class C { a: int; } func f(c: C) { c.b = 1; }`, "no field"},
+		{"no method", `class C { a: int; } func f(c: C) { c.m(); }`, "no method"},
+		{"arity", `func g(x: int) { } func f() { g(); }`, "0 arguments, want 1"},
+		{"arg type", `func g(x: int) { } func f() { g(1.0); }`, "want int"},
+		{"assign param", `param p: int = 1; func f() { p = 2; }`, "cannot assign to program parameter"},
+		{"this outside method", `func f() { let x: int = this.a; }`, "this outside"},
+		{"return void value", `func f() { return 1; }`, "unexpected return value"},
+		{"return missing value", `func f(): int { return; }`, "missing return value"},
+		{"return wrong type", `func f(): int { return 1.0; }`, "return type float"},
+		{"dup class", `class C { } class C { }`, "duplicate class"},
+		{"dup field", `class C { a: int; a: int; }`, "duplicate field"},
+		{"dup method", `class C { method m() { } method m() { } }`, "duplicate method"},
+		{"dup func", `func f() { } func f() { }`, "duplicate function"},
+		{"dup param decl", `param p: int = 1; param p: int = 2;`, "duplicate param"},
+		{"dup local", `func f() { let x: int = 1; let x: int = 2; }`, "duplicate local"},
+		{"dup formal", `func f(a: int, a: int) { }`, "duplicate parameter"},
+		{"extern shadows builtin", `extern len(a: int): int;`, "shadows a builtin"},
+		{"index non-array", `func f() { let x: int = 3; let y: int = x[0]; }`, "indexing non-array"},
+		{"field on prim", `func f() { let x: int = 3; let y: int = x.a; }`, "non-object"},
+		{"len of int", `func f() { let x: int = len(3); }`, "must be an array"},
+		{"tofloat of float", `func f() { let x: float = tofloat(1.0); }`, "must be int"},
+		{"print object", `class C { } func f(c: C) { print c; }`, "primitive"},
+		{"new array elem count type", `func f() { let a: int[] = new int[1.5]; }`, "must be int"},
+		{"stray expr", `func f() { 1 + 2; }`, "must be a call"},
+		{"unary minus bool", `func f() { let b: bool = -true; }`, "unary minus"},
+		{"not int", `func f() { let b: bool = !3; }`, "logical not"},
+		{"logic on int", `func f() { let b: bool = 1 && 2; }`, "logical operation"},
+		{"eq mixed", `func f() { let b: bool = 1 == 1.0; }`, "equality"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := check(t, tc.src)
+			if err == nil {
+				t.Fatalf("no error, want %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestMissingReturnDetected(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"plain return", `func f(): int { return 1; }`, true},
+		{"no return at all", `func f(): int { let x: int = 1; }`, false},
+		{"if without else", `func f(b: bool): int { if b { return 1; } }`, false},
+		{"if/else both return", `func f(b: bool): int { if b { return 1; } else { return 2; } }`, true},
+		{"return after loop", `func f(n: int): int { for i in 0..n { } return n; }`, true},
+		{"return only in loop", `func f(n: int): int { for i in 0..n { return i; } }`, false},
+		{"void needs none", `func f() { let x: int = 1; }`, true},
+		{"nested blocks", `func f(): int { { { return 3; } } }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := check(t, tc.src)
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && (err == nil || !strings.Contains(err.Error(), "without returning")) {
+				t.Errorf("missing-return not detected: %v", err)
+			}
+		})
+	}
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	mustCheck(t, `
+func f() {
+  let x: int = 1;
+  {
+    let x: float = 2.0;
+    let y: float = x + 1.0;
+  }
+  let z: int = x + 1;
+}`)
+}
+
+func TestLoopVarScoped(t *testing.T) {
+	_, err := check(t, `func f() { for i in 0..3 { } let y: int = i; }`)
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("loop variable leaked: %v", err)
+	}
+}
+
+func TestSyncBlockChecks(t *testing.T) {
+	// SyncBlocks are compiler-generated; build one by hand and check it.
+	prog, err := parser.Parse(`class C { v: int; method m() { this.v = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Classes[0].Methods[0]
+	m.Body.Stmts = []ast.Stmt{&ast.SyncBlock{
+		Lock: &ast.ThisExpr{},
+		Body: &ast.Block{Stmts: m.Body.Stmts},
+	}}
+	if _, err := Check(prog); err != nil {
+		t.Fatalf("sync block on object rejected: %v", err)
+	}
+	// Lock expression of primitive type must be rejected.
+	prog2, err := parser.Parse(`class C { v: int; method m(x: int) { this.v = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := prog2.Classes[0].Methods[0]
+	m2.Body.Stmts = []ast.Stmt{&ast.SyncBlock{
+		Lock: &ast.Ident{Name: "x"},
+		Body: &ast.Block{Stmts: m2.Body.Stmts},
+	}}
+	if _, err := Check(prog2); err == nil {
+		t.Error("sync block on int accepted")
+	}
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	info := mustCheck(t, `class C { v: float; } func f(c: C): float { return c.v * 2.0; }`)
+	found := false
+	for e, ty := range info.ExprType {
+		if _, ok := e.(*ast.BinExpr); ok && ty.Equal(Float) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("binary expression type not recorded")
+	}
+}
+
+func TestPrimAndTypeEquality(t *testing.T) {
+	if !Int.Equal(Int) || Int.Equal(Float) || Int.Equal(Void{}) {
+		t.Error("Prim.Equal wrong")
+	}
+	a := Array{Elem: Int}
+	b := Array{Elem: Int}
+	if !a.Equal(b) || a.Equal(Array{Elem: Float}) {
+		t.Error("Array.Equal wrong")
+	}
+	if !(Void{}).Equal(Void{}) || (Void{}).Equal(Int) {
+		t.Error("Void.Equal wrong")
+	}
+	ci := &ClassInfo{Name: "C"}
+	if !(Class{ci}).Equal(Class{ci}) || (Class{ci}).Equal(Class{&ClassInfo{Name: "C"}}) {
+		t.Error("Class.Equal wrong")
+	}
+}

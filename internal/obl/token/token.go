@@ -1,0 +1,185 @@
+// Package token defines the lexical tokens of OBL, the small object-based
+// language this reproduction compiles. OBL is a faithful miniature of the
+// programming model in the paper: serial programs structured as sequences
+// of operations on objects (§2), rich enough to express the paper's
+// Figure 1/2 example and the three benchmark applications.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Illegal
+
+	Ident
+	Int
+	Float
+
+	// Keywords.
+	KwClass
+	KwMethod
+	KwFunc
+	KwExtern
+	KwParam
+	KwLet
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwIn
+	KwReturn
+	KwNew
+	KwThis
+	KwTrue
+	KwFalse
+	KwPrint
+	KwCost
+	KwIntType
+	KwFloatType
+	KwBoolType
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semicolon
+	Colon
+	Comma
+	Dot
+	DotDot
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	NotEq
+	Lt
+	LtEq
+	Gt
+	GtEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var names = map[Kind]string{
+	EOF:         "EOF",
+	Illegal:     "Illegal",
+	Ident:       "identifier",
+	Int:         "integer literal",
+	Float:       "float literal",
+	KwClass:     "class",
+	KwMethod:    "method",
+	KwFunc:      "func",
+	KwExtern:    "extern",
+	KwParam:     "param",
+	KwLet:       "let",
+	KwIf:        "if",
+	KwElse:      "else",
+	KwWhile:     "while",
+	KwFor:       "for",
+	KwIn:        "in",
+	KwReturn:    "return",
+	KwNew:       "new",
+	KwThis:      "this",
+	KwTrue:      "true",
+	KwFalse:     "false",
+	KwPrint:     "print",
+	KwCost:      "cost",
+	KwIntType:   "int",
+	KwFloatType: "float",
+	KwBoolType:  "bool",
+	LParen:      "(",
+	RParen:      ")",
+	LBrace:      "{",
+	RBrace:      "}",
+	LBracket:    "[",
+	RBracket:    "]",
+	Semicolon:   ";",
+	Colon:       ":",
+	Comma:       ",",
+	Dot:         ".",
+	DotDot:      "..",
+	Assign:      "=",
+	Plus:        "+",
+	Minus:       "-",
+	Star:        "*",
+	Slash:       "/",
+	Percent:     "%",
+	Eq:          "==",
+	NotEq:       "!=",
+	Lt:          "<",
+	LtEq:        "<=",
+	Gt:          ">",
+	GtEq:        ">=",
+	AndAnd:      "&&",
+	OrOr:        "||",
+	Not:         "!",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"class":  KwClass,
+	"method": KwMethod,
+	"func":   KwFunc,
+	"extern": KwExtern,
+	"param":  KwParam,
+	"let":    KwLet,
+	"if":     KwIf,
+	"else":   KwElse,
+	"while":  KwWhile,
+	"for":    KwFor,
+	"in":     KwIn,
+	"return": KwReturn,
+	"new":    KwNew,
+	"this":   KwThis,
+	"true":   KwTrue,
+	"false":  KwFalse,
+	"print":  KwPrint,
+	"cost":   KwCost,
+	"int":    KwIntType,
+	"float":  KwFloatType,
+	"bool":   KwBoolType,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for Ident/Int/Float
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Float:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,694 @@
+// Package simmach implements a deterministic discrete-event shared-memory
+// multiprocessor simulator. It stands in for the 16-processor Stanford DASH
+// machine used in the paper's evaluation.
+//
+// The simulator models P processors, each with its own virtual clock. A
+// central scheduler always dispatches the runnable processor with the
+// smallest virtual clock (ties broken by processor ID), so executions are
+// reproducible bit-for-bit regardless of the host machine. Processors
+// synchronize through spin locks (with counted failed-acquire attempts, the
+// quantity the paper uses to compute waiting overhead), sense-reversing
+// barriers (used for synchronous policy switching), and a virtual timer
+// whose read cost is configurable (the paper reports roughly 9 microseconds
+// on DASH).
+//
+// Clients drive the machine by implementing Process: Step executes work for
+// one processor up to the next machine-visible synchronization event and
+// reports whether the processor is still runnable, blocked, or done. Pure
+// computation is charged with Proc.Advance and never requires a yield, so
+// the event count — and therefore the simulation cost — is proportional to
+// the number of synchronization operations, not to the amount of simulated
+// work.
+package simmach
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since machine start.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Status is the scheduling state a Process reports after a Step.
+type Status int
+
+const (
+	// Ready means the processor can be dispatched again.
+	Ready Status = iota
+	// Blocked means the processor is waiting on a lock or barrier and must
+	// not be dispatched until the machine wakes it.
+	Blocked
+	// Done means the processor has no more work.
+	Done
+)
+
+func (s Status) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Process supplies the work a processor executes. Step must perform work for
+// p up to (and including) at most one machine-visible synchronization event,
+// advance p's clock accordingly, and report the resulting status. If a lock
+// acquire or barrier arrival blocks the processor, Step must return Blocked;
+// the machine redispatches the processor after it is woken.
+type Process interface {
+	Step(p *Proc) Status
+}
+
+// ProcessFunc adapts a function to the Process interface.
+type ProcessFunc func(p *Proc) Status
+
+// Step calls f(p).
+func (f ProcessFunc) Step(p *Proc) Status { return f(p) }
+
+// Config carries the machine's cost model. Zero values are replaced by the
+// defaults below, which are calibrated to the hardware the paper reports.
+type Config struct {
+	// Procs is the number of processors. Default 1.
+	Procs int
+	// TimerReadCost is charged for each ReadTimer call (paper: ~9µs on DASH).
+	TimerReadCost Time
+	// AcquireCost is charged for each successful lock acquire.
+	AcquireCost Time
+	// ReleaseCost is charged for each lock release.
+	ReleaseCost Time
+	// SpinCost is the cost of one failed acquire attempt; waiting time is
+	// accounted as failed attempts times SpinCost.
+	SpinCost Time
+	// BarrierCost is charged to every processor when it is released from a
+	// barrier, after its clock is advanced to the last arrival time.
+	BarrierCost Time
+}
+
+// DefaultConfig returns the cost model used throughout the reproduction,
+// calibrated to the paper's Stanford DASH data: the timer read costs ~9µs
+// (§4.1), and the Barnes-Hut locking numbers (Table 3: 70.4s of locking
+// overhead for 15.47M acquire/release pairs) imply ~4.5µs per pair on that
+// machine.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:         procs,
+		TimerReadCost: 9 * Microsecond,
+		AcquireCost:   2500 * Nanosecond,
+		ReleaseCost:   2000 * Nanosecond,
+		SpinCost:      500 * Nanosecond,
+		BarrierCost:   2 * Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Procs)
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.TimerReadCost <= 0 {
+		c.TimerReadCost = d.TimerReadCost
+	}
+	if c.AcquireCost <= 0 {
+		c.AcquireCost = d.AcquireCost
+	}
+	if c.ReleaseCost <= 0 {
+		c.ReleaseCost = d.ReleaseCost
+	}
+	if c.SpinCost <= 0 {
+		c.SpinCost = d.SpinCost
+	}
+	if c.BarrierCost <= 0 {
+		c.BarrierCost = d.BarrierCost
+	}
+	return c
+}
+
+// Counters aggregates the per-processor instrumentation the paper's
+// generated code collects (§4.3): lock acquire counts, failed acquire
+// counts, and the corresponding locking, waiting, and busy times.
+type Counters struct {
+	// Acquires counts successful acquire/release pairs.
+	Acquires int64
+	// FailedAcquires counts failed attempts to acquire a held lock.
+	FailedAcquires int64
+	// LockTime is the time spent executing successful acquire and release
+	// constructs (locking overhead).
+	LockTime Time
+	// WaitTime is the time spent spinning on held locks (waiting overhead).
+	WaitTime Time
+	// BarrierWait is the time spent waiting at barriers. The paper accounts
+	// this separately from lock waiting; it is part of the effective
+	// sampling interval, not of the measured policy overhead.
+	BarrierWait Time
+	// Busy is total time the processor's clock advanced for any reason.
+	Busy Time
+	// TimerReads counts ReadTimer calls.
+	TimerReads int64
+}
+
+// Sub returns c - o, component-wise. It is used to compute per-phase deltas
+// from two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Acquires:       c.Acquires - o.Acquires,
+		FailedAcquires: c.FailedAcquires - o.FailedAcquires,
+		LockTime:       c.LockTime - o.LockTime,
+		WaitTime:       c.WaitTime - o.WaitTime,
+		BarrierWait:    c.BarrierWait - o.BarrierWait,
+		Busy:           c.Busy - o.Busy,
+		TimerReads:     c.TimerReads - o.TimerReads,
+	}
+}
+
+// Add returns c + o, component-wise.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Acquires:       c.Acquires + o.Acquires,
+		FailedAcquires: c.FailedAcquires + o.FailedAcquires,
+		LockTime:       c.LockTime + o.LockTime,
+		WaitTime:       c.WaitTime + o.WaitTime,
+		BarrierWait:    c.BarrierWait + o.BarrierWait,
+		Busy:           c.Busy + o.Busy,
+		TimerReads:     c.TimerReads + o.TimerReads,
+	}
+}
+
+// Proc is one simulated processor.
+type Proc struct {
+	id      int
+	m       *Machine
+	clock   Time
+	status  Status
+	process Process
+	inHeap  bool
+
+	// Counters holds the processor's instrumentation. Clients may snapshot
+	// it at phase boundaries; the machine only ever adds to it.
+	Counters Counters
+}
+
+// ID returns the processor's index, in [0, Procs).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's virtual clock. Reading it is free; use
+// ReadTimer to model a timer access with its hardware cost.
+func (p *Proc) Now() Time { return p.clock }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Advance charges d of pure computation to the processor.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("simmach: negative advance")
+	}
+	p.clock += d
+	p.Counters.Busy += d
+}
+
+// ReadTimer models reading the hardware timer: it charges the configured
+// timer cost and returns the clock value after the read completes.
+func (p *Proc) ReadTimer() Time {
+	p.Advance(p.m.cfg.TimerReadCost)
+	p.Counters.TimerReads++
+	return p.clock
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceAcquire is a successful uncontended acquire.
+	TraceAcquire TraceKind = iota
+	// TraceBlock is a failed acquire that blocks the processor.
+	TraceBlock
+	// TraceGrant is a lock handoff to a blocked processor.
+	TraceGrant
+	// TraceRelease is a lock release.
+	TraceRelease
+	// TraceBarrierArrive is an arrival at a barrier.
+	TraceBarrierArrive
+	// TraceBarrierRelease is a barrier completion (one event per rendezvous,
+	// attributed to the last arriver).
+	TraceBarrierRelease
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceAcquire:
+		return "acquire"
+	case TraceBlock:
+		return "block"
+	case TraceGrant:
+		return "grant"
+	case TraceRelease:
+		return "release"
+	case TraceBarrierArrive:
+		return "barrier-arrive"
+	case TraceBarrierRelease:
+		return "barrier-release"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one synchronization event, as delivered to Machine.Trace.
+type TraceEvent struct {
+	Kind TraceKind
+	Proc int
+	Time Time
+	Lock string // lock name, or empty for barrier events
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	cfg     Config
+	procs   []*Proc
+	ready   procHeap
+	locks   []*Lock
+	nextLck int
+	steps   int64
+	running bool
+
+	// Trace, when set, receives every synchronization event as it occurs
+	// in virtual time. It must not call back into the machine.
+	Trace func(TraceEvent)
+}
+
+func (m *Machine) trace(k TraceKind, proc int, t Time, lock string) {
+	if m.Trace != nil {
+		m.Trace(TraceEvent{Kind: k, Proc: proc, Time: t, Lock: lock})
+	}
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg}
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{id: i, m: m, status: Done}
+	}
+	return m
+}
+
+// Config returns the machine's (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Procs returns the number of processors.
+func (m *Machine) Procs() int { return len(m.procs) }
+
+// Proc returns processor i.
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// Steps returns the number of scheduler dispatches performed so far.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// MaxClock returns the largest processor clock.
+func (m *Machine) MaxClock() Time {
+	var max Time
+	for _, p := range m.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// TotalCounters returns the sum of all processors' counters.
+func (m *Machine) TotalCounters() Counters {
+	var t Counters
+	for _, p := range m.procs {
+		t = t.Add(p.Counters)
+	}
+	return t
+}
+
+// Start installs a process on processor i and marks it runnable. It may be
+// called before Run or from within a Step (to fork work onto idle
+// processors).
+func (m *Machine) Start(i int, proc Process) {
+	p := m.procs[i]
+	if p.status != Done {
+		panic(fmt.Sprintf("simmach: proc %d already active", i))
+	}
+	p.process = proc
+	p.status = Ready
+	m.push(p)
+}
+
+// SetClock force-sets processor i's clock. It is intended for runtime
+// systems that park processors during serial sections and bring them back at
+// the current time of the serial processor. It must not be used on a
+// processor that is blocked.
+func (m *Machine) SetClock(i int, t Time) {
+	p := m.procs[i]
+	if p.status == Blocked {
+		panic("simmach: SetClock on blocked proc")
+	}
+	p.clock = t
+	if p.inHeap {
+		m.ready.fix(p)
+	}
+}
+
+// Run dispatches processors until every processor is Done. It returns an
+// error on deadlock (some processor blocked with nothing runnable).
+func (m *Machine) Run() error {
+	if m.running {
+		panic("simmach: Run is not reentrant")
+	}
+	m.running = true
+	defer func() { m.running = false }()
+	for {
+		if m.ready.Len() == 0 {
+			for _, p := range m.procs {
+				if p.status == Blocked {
+					return fmt.Errorf("simmach: deadlock: %s", m.stateString())
+				}
+			}
+			return nil
+		}
+		p := m.pop()
+		m.steps++
+		st := p.process.Step(p)
+		switch st {
+		case Ready:
+			p.status = Ready
+			m.push(p)
+		case Blocked:
+			// The blocking primitive already recorded the wait; if the
+			// processor was woken during its own step (e.g. it was the last
+			// arrival at a barrier), it is already back in the heap.
+			if p.status == Ready && !p.inHeap {
+				m.push(p)
+			}
+		case Done:
+			p.status = Done
+			p.process = nil
+		default:
+			panic(fmt.Sprintf("simmach: bad status %v from proc %d", st, p.id))
+		}
+	}
+}
+
+func (m *Machine) push(p *Proc) {
+	if p.inHeap {
+		return
+	}
+	p.status = Ready
+	heap.Push(&m.ready, p)
+}
+
+func (m *Machine) pop() *Proc {
+	return heap.Pop(&m.ready).(*Proc)
+}
+
+func (m *Machine) stateString() string {
+	var b strings.Builder
+	for _, p := range m.procs {
+		fmt.Fprintf(&b, "proc %d: %v at %v; ", p.id, p.status, p.clock)
+	}
+	for _, l := range m.locks {
+		if l.owner >= 0 || len(l.waiters) > 0 {
+			fmt.Fprintf(&b, "lock %q: owner %d, %d waiters; ", l.name, l.owner, len(l.waiters))
+		}
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}
+
+// procHeap orders runnable processors by (clock, id).
+type procHeap struct {
+	items []*Proc
+	pos   map[*Proc]int
+}
+
+func (h *procHeap) Len() int { return len(h.items) }
+func (h *procHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+func (h *procHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	if h.pos != nil {
+		h.pos[h.items[i]] = i
+		h.pos[h.items[j]] = j
+	}
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	if h.pos == nil {
+		h.pos = make(map[*Proc]int)
+	}
+	h.pos[p] = len(h.items)
+	h.items = append(h.items, p)
+	p.inHeap = true
+}
+func (h *procHeap) Pop() any {
+	n := len(h.items)
+	p := h.items[n-1]
+	h.items = h.items[:n-1]
+	delete(h.pos, p)
+	p.inHeap = false
+	return p
+}
+func (h *procHeap) fix(p *Proc) {
+	if i, ok := h.pos[p]; ok {
+		heap.Fix(h, i)
+	}
+}
+
+// Lock is a spin lock with FIFO handoff. A processor that fails to acquire
+// a held lock blocks in the simulator, and the time it would have spent
+// spinning is charged — as waiting time and as failed acquire attempts — when
+// the lock is handed to it. This is arithmetically identical to simulating
+// each spin iteration, but costs O(1) events per handoff.
+type Lock struct {
+	m       *Machine
+	name    string
+	owner   int // processor ID, or -1 when free
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	p     *Proc
+	since Time
+}
+
+// NewLock creates a lock. The name appears in traces and deadlock reports.
+func (m *Machine) NewLock(name string) *Lock {
+	l := &Lock{m: m, name: name, owner: -1}
+	m.locks = append(m.locks, l)
+	return l
+}
+
+// Name returns the lock's name.
+func (l *Lock) Name() string { return l.name }
+
+// Held reports whether the lock is currently owned.
+func (l *Lock) Held() bool { return l.owner >= 0 }
+
+// Acquire attempts to take the lock for p. On success it charges the
+// acquire cost and returns true. If the lock is held, p is blocked and
+// false is returned; when the holder releases the lock, p is woken already
+// owning it (with waiting time and failed-attempt counts charged), and
+// execution continues after the Acquire call site. The caller's Step must
+// return Blocked when Acquire returns false.
+func (p *Proc) Acquire(l *Lock) bool {
+	if l.owner == p.id {
+		panic(fmt.Sprintf("simmach: proc %d re-acquiring lock %q", p.id, l.name))
+	}
+	if l.owner < 0 {
+		l.owner = p.id
+		c := p.m.cfg.AcquireCost
+		p.clock += c
+		p.Counters.Busy += c
+		p.Counters.LockTime += c
+		p.Counters.Acquires++
+		p.m.trace(TraceAcquire, p.id, p.clock, l.name)
+		return true
+	}
+	l.waiters = append(l.waiters, lockWaiter{p: p, since: p.clock})
+	p.status = Blocked
+	p.m.trace(TraceBlock, p.id, p.clock, l.name)
+	return false
+}
+
+// TryAcquire attempts to take the lock without blocking. On failure it
+// charges one failed spin attempt and returns false.
+func (p *Proc) TryAcquire(l *Lock) bool {
+	if l.owner < 0 {
+		return p.Acquire(l)
+	}
+	c := p.m.cfg.SpinCost
+	p.clock += c
+	p.Counters.Busy += c
+	p.Counters.WaitTime += c
+	p.Counters.FailedAcquires++
+	return false
+}
+
+// Release releases the lock, charging the release cost, and hands the lock
+// to the longest-waiting processor, if any.
+func (p *Proc) Release(l *Lock) {
+	if l.owner != p.id {
+		panic(fmt.Sprintf("simmach: proc %d releasing lock %q owned by %d", p.id, l.name, l.owner))
+	}
+	c := p.m.cfg.ReleaseCost
+	p.clock += c
+	p.Counters.Busy += c
+	p.Counters.LockTime += c
+	releaseTime := p.clock
+	p.m.trace(TraceRelease, p.id, releaseTime, l.name)
+	if len(l.waiters) == 0 {
+		l.owner = -1
+		return
+	}
+	// FIFO handoff: earliest attempt wins; ties broken by processor ID.
+	best := 0
+	for i := 1; i < len(l.waiters); i++ {
+		w, b := l.waiters[i], l.waiters[best]
+		if w.since < b.since || (w.since == b.since && w.p.id < b.p.id) {
+			best = i
+		}
+	}
+	w := l.waiters[best]
+	l.waiters = append(l.waiters[:best], l.waiters[best+1:]...)
+	l.owner = w.p.id
+	wp := w.p
+	waited := releaseTime - w.since
+	if waited < 0 {
+		waited = 0
+	}
+	spin := p.m.cfg.SpinCost
+	fails := int64(waited / spin)
+	if fails < 1 {
+		fails = 1
+	}
+	wp.clock = releaseTime
+	wp.Counters.Busy += waited
+	wp.Counters.WaitTime += waited
+	wp.Counters.FailedAcquires += fails
+	// Charge the successful acquire that ends the spin.
+	ac := p.m.cfg.AcquireCost
+	wp.clock += ac
+	wp.Counters.Busy += ac
+	wp.Counters.LockTime += ac
+	wp.Counters.Acquires++
+	p.m.trace(TraceGrant, wp.id, wp.clock, l.name)
+	p.m.wake(wp)
+}
+
+func (m *Machine) wake(p *Proc) {
+	p.status = Ready
+	m.push(p)
+}
+
+// Barrier is a reusable sense-reversing barrier over a fixed set of
+// processors. The paper's generated code uses barriers to switch policies
+// synchronously, so that every processor uses the same policy during each
+// sampling interval (§4.1).
+type Barrier struct {
+	m       *Machine
+	n       int
+	arrived []lockWaiter
+	epochs  int64
+
+	// OnComplete, when set, runs at the moment the last processor arrives,
+	// before any participant is charged its barrier wait or woken. The
+	// argument is the last arrival time. Runtime systems use it to perform
+	// the policy-switch bookkeeping exactly once per rendezvous, with all
+	// counters reflecting work strictly before the barrier (§4.1,
+	// synchronous switching).
+	OnComplete func(last Time)
+}
+
+// NewBarrier creates a barrier for n processors.
+func (m *Machine) NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("simmach: barrier size must be positive")
+	}
+	return &Barrier{m: m, n: n}
+}
+
+// Epochs returns how many times the barrier has completed.
+func (b *Barrier) Epochs() int64 { return b.epochs }
+
+// Arrive records p's arrival. If p is the last arrival the barrier
+// completes: every participant's clock advances to the last arrival time
+// plus the barrier cost, waiting time is charged to Counters.BarrierWait,
+// and all participants (including p) are made runnable. Arrive always
+// blocks the caller; the caller's Step must return Blocked immediately
+// after calling it. Work after the barrier must be issued on the next Step.
+func (p *Proc) BarrierArrive(b *Barrier) {
+	for _, w := range b.arrived {
+		if w.p == p {
+			panic(fmt.Sprintf("simmach: proc %d arrived twice at barrier", p.id))
+		}
+	}
+	b.arrived = append(b.arrived, lockWaiter{p: p, since: p.clock})
+	p.status = Blocked
+	b.m.trace(TraceBarrierArrive, p.id, p.clock, "")
+	if len(b.arrived) < b.n {
+		return
+	}
+	var last Time
+	for _, w := range b.arrived {
+		if w.since > last {
+			last = w.since
+		}
+	}
+	if b.OnComplete != nil {
+		b.OnComplete(last)
+	}
+	release := last + b.m.cfg.BarrierCost
+	// Wake in ID order for determinism.
+	sort.Slice(b.arrived, func(i, j int) bool { return b.arrived[i].p.id < b.arrived[j].p.id })
+	for _, w := range b.arrived {
+		wp := w.p
+		wait := last - w.since
+		wp.Counters.BarrierWait += wait
+		wp.Counters.Busy += release - w.since
+		wp.clock = release
+		b.m.wake(wp)
+	}
+	b.arrived = b.arrived[:0]
+	b.epochs++
+	b.m.trace(TraceBarrierRelease, p.id, release, "")
+}

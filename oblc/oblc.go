@@ -1,0 +1,323 @@
+// Package oblc is the compiler driver for OBL, the object-based language
+// of this reproduction. It chains the full pipeline of the paper's
+// compiler: parsing, semantic analysis, commutativity analysis (automatic
+// parallelization, §2), synchronization optimization under the three
+// policies (§3), lowering to the register IR with one version of each
+// parallel section per policy, and deduplication of code that is identical
+// across policies (§4.2).
+//
+// The result is a Compiled program holding both the multi-version parallel
+// program (run with a static policy or with dynamic feedback by
+// internal/interp) and the serial baseline program, plus the analysis
+// reports and the code-size accounting of Table 1.
+package oblc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/callgraph"
+	"repro/internal/obl/commute"
+	"repro/internal/obl/ir"
+	"repro/internal/obl/lower"
+	"repro/internal/obl/parser"
+	"repro/internal/obl/sema"
+	"repro/internal/obl/syncopt"
+)
+
+// Compiled is the output of Compile.
+type Compiled struct {
+	// Parallel is the multi-version program: parallel sections carry one
+	// version per synchronization optimization policy (identical versions
+	// merged).
+	Parallel *ir.Program
+	// Serial is the baseline program: no parallelization, no
+	// synchronization.
+	Serial *ir.Program
+	// Flagged is the §4.2 single-version alternative: one body per
+	// function with conditional synchronization sites; each section's
+	// versions share one FuncID and differ only in their flag vectors.
+	Flagged *ir.Program
+	// FlaggedAST is the flag-dispatch transformed AST (for inspection).
+	FlaggedAST *ast.Program
+	// FlaggedSites is the number of conditional synchronization sites.
+	FlaggedSites int
+	// Reports are the commutativity analysis results per candidate loop.
+	Reports []commute.LoopReport
+	// PolicyPrograms holds the per-policy transformed ASTs (for
+	// inspection and the oblc tool's Figure 1 → Figure 2 dumps).
+	PolicyPrograms map[syncopt.Policy]*ast.Program
+}
+
+// Policies lists the synchronization policy names in paper order; these
+// are the keys of each section's PolicyVersion map.
+func Policies() []string {
+	out := make([]string, len(syncopt.AllPolicies))
+	for i, p := range syncopt.AllPolicies {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// Compile runs the full pipeline on OBL source text.
+func Compile(src string) (*Compiled, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: check: %w", err)
+	}
+	cg := callgraph.Build(info)
+	analysis := commute.New(info, cg)
+	reports := analysis.AnalyzeLoops()
+
+	out := &Compiled{Reports: reports, PolicyPrograms: map[syncopt.Policy]*ast.Program{}}
+
+	// Multi-version parallel program: one clone per policy.
+	pb := lower.NewBuilder()
+	for _, policy := range syncopt.AllPolicies {
+		clone := cloneProgram(prog)
+		cinfo, err := sema.Check(clone)
+		if err != nil {
+			return nil, fmt.Errorf("oblc: recheck clone (%s): %w", policy, err)
+		}
+		ccg := callgraph.Build(cinfo)
+		if err := syncopt.Apply(clone, cinfo, ccg, policy); err != nil {
+			return nil, fmt.Errorf("oblc: %s: %w", policy, err)
+		}
+		cinfo, err = sema.Check(clone)
+		if err != nil {
+			return nil, fmt.Errorf("oblc: check transformed (%s): %w", policy, err)
+		}
+		if err := pb.AddPolicy(cinfo, string(policy)); err != nil {
+			return nil, fmt.Errorf("oblc: lower (%s): %w", policy, err)
+		}
+		out.PolicyPrograms[policy] = clone
+	}
+	parallel, err := pb.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("oblc: %w", err)
+	}
+	lower.Dedup(parallel)
+	if err := parallel.Verify(); err != nil {
+		return nil, fmt.Errorf("oblc: verify parallel: %w", err)
+	}
+	out.Parallel = parallel
+
+	// Flag-dispatch single version (§4.2 alternative): one body per
+	// function with conditional synchronization sites; policies are flag
+	// assignments.
+	flaggedAST := cloneProgram(prog)
+	finfo, err := sema.Check(flaggedAST)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: recheck flagged clone: %w", err)
+	}
+	fcg := callgraph.Build(finfo)
+	flagInfo, err := syncopt.ApplyFlagged(flaggedAST, finfo, fcg)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: flagged: %w", err)
+	}
+	finfo, err = sema.Check(flaggedAST)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: check flagged: %w", err)
+	}
+	fb := lower.NewBuilder()
+	if err := fb.AddFlagged(finfo, flagInfo.NumSites); err != nil {
+		return nil, fmt.Errorf("oblc: lower flagged: %w", err)
+	}
+	flagged, err := fb.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("oblc: %w", err)
+	}
+	enabled := map[string][]bool{}
+	for p, vec := range flagInfo.Enabled {
+		enabled[string(p)] = vec
+	}
+	lower.FinalizeFlaggedSections(flagged, enabled, Policies())
+	lower.Dedup(flagged)
+	if err := flagged.Verify(); err != nil {
+		return nil, fmt.Errorf("oblc: verify flagged: %w", err)
+	}
+	out.Flagged = flagged
+	out.FlaggedAST = flaggedAST
+	out.FlaggedSites = flagInfo.NumSites
+
+	// Serial baseline: strip parallel marks, no synchronization.
+	serialAST := cloneProgram(prog)
+	stripParallel(serialAST)
+	sinfo, err := sema.Check(serialAST)
+	if err != nil {
+		return nil, fmt.Errorf("oblc: check serial: %w", err)
+	}
+	sb := lower.NewBuilder()
+	if err := sb.AddSerial(sinfo); err != nil {
+		return nil, fmt.Errorf("oblc: lower serial: %w", err)
+	}
+	serial, err := sb.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("oblc: %w", err)
+	}
+	lower.Dedup(serial)
+	if err := serial.Verify(); err != nil {
+		return nil, fmt.Errorf("oblc: verify serial: %w", err)
+	}
+	out.Serial = serial
+	return out, nil
+}
+
+// cloneProgram deep-copies a program AST (with parallel loop marks).
+func cloneProgram(p *ast.Program) *ast.Program {
+	out := &ast.Program{}
+	for _, c := range p.Classes {
+		cc := &ast.ClassDecl{P: c.P, Name: c.Name}
+		for _, f := range c.Fields {
+			cc.Fields = append(cc.Fields, &ast.FieldDecl{P: f.P, Name: f.Name, Type: ast.CloneType(f.Type)})
+		}
+		for _, m := range c.Methods {
+			cc.Methods = append(cc.Methods, ast.CloneFunc(m))
+		}
+		out.Classes = append(out.Classes, cc)
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, ast.CloneFunc(f))
+	}
+	for _, e := range p.Externs {
+		ee := &ast.ExternDecl{P: e.P, Name: e.Name, Result: ast.CloneType(e.Result), Cost: e.Cost}
+		for _, pp := range e.Params {
+			ee.Params = append(ee.Params, &ast.ParamSpec{P: pp.P, Name: pp.Name, Type: ast.CloneType(pp.Type)})
+		}
+		out.Externs = append(out.Externs, ee)
+	}
+	for _, d := range p.Params {
+		out.Params = append(out.Params, &ast.ParamDecl{P: d.P, Name: d.Name, Default: d.Default})
+	}
+	return out
+}
+
+func stripParallel(p *ast.Program) {
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.WhileStmt:
+			walk(s.Body)
+		case *ast.ForStmt:
+			s.Parallel = false
+			s.Section = ""
+			walk(s.Body)
+		case *ast.SyncBlock:
+			walk(s.Body)
+		}
+	}
+	for _, f := range p.Funcs {
+		walk(f.Body)
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			walk(m.Body)
+		}
+	}
+}
+
+// EffectSummaries renders the commutativity analysis's per-operation
+// effect summaries (reads, update kinds, invocations) for every function
+// and method, in declaration order — the evidence behind the
+// parallelization decisions.
+func EffectSummaries(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("oblc: parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return "", fmt.Errorf("oblc: check: %w", err)
+	}
+	cg := callgraph.Build(info)
+	a := commute.New(info, cg)
+	var b []string
+	for _, fi := range info.AllFuncs() {
+		b = append(b, a.Summary("A", fi.FullName()).Describe())
+	}
+	return strings.Join(b, "\n"), nil
+}
+
+// CodeSizes is the Table 1 accounting for one application.
+type CodeSizes struct {
+	// Serial is the executable size of the serial program.
+	Serial int
+	// PerPolicy maps each policy to the size of a single-policy build:
+	// the code reachable when only that policy's versions are used.
+	PerPolicy map[string]int
+	// Dynamic is the size of the multi-version program (all policies plus
+	// shared code, after subgraph deduplication).
+	Dynamic int
+}
+
+// Sizes computes executable code sizes in bytes.
+func (c *Compiled) Sizes() CodeSizes {
+	out := CodeSizes{
+		Serial:    reachableBytes(c.Serial, c.Serial.MainID, nil),
+		PerPolicy: map[string]int{},
+	}
+	all := []int{c.Parallel.MainID}
+	for _, sec := range c.Parallel.Sections {
+		for _, v := range sec.Versions {
+			all = append(all, v.FuncID)
+		}
+	}
+	out.Dynamic = reachableBytes(c.Parallel, c.Parallel.MainID, all)
+	for _, policy := range Policies() {
+		roots := []int{c.Parallel.MainID}
+		for _, sec := range c.Parallel.Sections {
+			if vi, ok := sec.PolicyVersion[policy]; ok {
+				roots = append(roots, sec.Versions[vi].FuncID)
+			}
+		}
+		out.PerPolicy[policy] = reachableBytes(c.Parallel, c.Parallel.MainID, roots)
+	}
+	return out
+}
+
+// reachableBytes sums code bytes over the functions reachable from the
+// roots (or just main when roots is nil).
+func reachableBytes(p *ir.Program, mainID int, roots []int) int {
+	if roots == nil {
+		roots = []int{mainID}
+	}
+	seen := map[int]bool{}
+	var stack []int
+	push := func(id int) {
+		if !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range p.Funcs[id].Code {
+			if in.Op == ir.OpCall {
+				push(int(in.Imm))
+			}
+		}
+	}
+	total := 0
+	for id := range seen {
+		total += p.Funcs[id].CodeBytes()
+	}
+	return total
+}

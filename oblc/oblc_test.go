@@ -1,0 +1,353 @@
+package oblc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obl/ast"
+	"repro/internal/obl/syncopt"
+)
+
+// bhLike is a Barnes-Hut-shaped program: one_interaction performs two
+// updates (merged by Bounded into one region), interactions loops over an
+// interaction list through a recursive refinement helper (so the lifted
+// region contains a call-graph cycle, making Bounded decline the lift that
+// Aggressive performs).
+const bhLike = `
+extern interact(a: float, b: float): float cost 9000;
+param n: int = 8;
+
+class Body {
+  pos: float;
+  sum: float;
+  count: float;
+  method refine(b: Body, depth: int): float {
+    if depth <= 0 {
+      return interact(this.pos, b.pos);
+    }
+    return this.refine(b, depth - 1);
+  }
+  method one_interaction(b: Body, depth: int) {
+    let val: float = this.refine(b, depth);
+    this.sum = this.sum + val;
+    this.count = this.count + 1.0;
+  }
+  method interactions(bs: Body[], cnt: int, depth: int) {
+    for k in 0..cnt {
+      this.one_interaction(bs[k], depth);
+    }
+  }
+}
+
+func forces(bodies: Body[], cnt: int) {
+  for i in 0..cnt {
+    bodies[i].interactions(bodies, cnt, 2);
+  }
+}
+
+func main() {
+  let bodies: Body[] = new Body[n];
+  for i in 0..n {
+    bodies[i] = new Body();
+    bodies[i].pos = tofloat(i);
+  }
+  forces(bodies, n);
+}
+`
+
+func TestCompileBarnesHutLike(t *testing.T) {
+	c, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel.Sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(c.Parallel.Sections))
+	}
+	sec := c.Parallel.Sections[0]
+	if sec.Name != "FORCES" {
+		t.Errorf("section name = %q", sec.Name)
+	}
+	// All three policies must produce distinct code here: Original has two
+	// regions per interaction, Bounded one, Aggressive lifts to one per
+	// body.
+	if len(sec.Versions) != 3 {
+		for _, v := range sec.Versions {
+			t.Logf("version %v -> func %s", v.Policies, c.Parallel.Funcs[v.FuncID].Name)
+		}
+		t.Fatalf("versions = %d, want 3 distinct", len(sec.Versions))
+	}
+	for _, p := range Policies() {
+		if _, ok := sec.PolicyVersion[p]; !ok {
+			t.Errorf("no version for policy %s", p)
+		}
+	}
+}
+
+func TestBarnesHutPolicyShapes(t *testing.T) {
+	c, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original: one_interaction keeps two separate regions.
+	orig := ast.Print(c.PolicyPrograms[syncopt.Original])
+	if got := strings.Count(orig, "acquire("); got != 2 {
+		t.Errorf("original acquire sites = %d, want 2\n%s", got, orig)
+	}
+	// Bounded: the two regions merge into one inside one_interaction, and
+	// the call site is rewritten to the unsynchronized variant under a
+	// region (one acquire site in one_interaction's caller loop).
+	bounded := ast.Print(c.PolicyPrograms[syncopt.Bounded])
+	if !strings.Contains(bounded, "one_interaction__unsync") {
+		t.Errorf("bounded did not expand the call site:\n%s", bounded)
+	}
+	// Aggressive: the lock is lifted out of the interactions loop, so
+	// interactions becomes fully synchronized and forces' loop body
+	// acquires once per body.
+	agg := ast.Print(c.PolicyPrograms[syncopt.Aggressive])
+	if !strings.Contains(agg, "interactions__unsync") {
+		t.Errorf("aggressive did not lift to the forces level:\n%s", agg)
+	}
+}
+
+// potengLike is the Water POTENG shape: a global accumulator updated once
+// per pair through a recursive energy function. Original and Bounded
+// produce identical code (Bounded declines the lift because the region
+// would contain the recursive energy call); Aggressive lifts the
+// accumulator lock out of the pair loop and serializes.
+const potengLike = `
+extern term(a: float, b: float): float cost 500;
+param n: int = 8;
+
+class Acc {
+  sum: float;
+}
+class Mol {
+  pos: float;
+  method pot_pair(o: Mol, acc: Acc, k: int) {
+    let e: float = energy(this.pos, o.pos, k);
+    acc.sum = acc.sum + e;
+  }
+}
+
+func energy(a: float, b: float, k: int): float {
+  if k <= 0 {
+    return term(a, b);
+  }
+  return term(a, b) + energy(a, b, k - 1);
+}
+
+func poteng(ms: Mol[], cnt: int, acc: Acc) {
+  for i in 0..cnt {
+    for j in 0..cnt {
+      if j > i {
+        ms[i].pot_pair(ms[j], acc, 3);
+      }
+    }
+  }
+}
+
+func main() {
+  let ms: Mol[] = new Mol[n];
+  for i in 0..n {
+    ms[i] = new Mol();
+    ms[i].pos = tofloat(i);
+  }
+  let acc: Acc = new Acc();
+  poteng(ms, n, acc);
+}
+`
+
+func TestCompilePotengLike(t *testing.T) {
+	c, err := Compile(potengLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel.Sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(c.Parallel.Sections))
+	}
+	sec := c.Parallel.Sections[0]
+	if sec.Name != "POTENG" {
+		t.Errorf("section = %q", sec.Name)
+	}
+	// Original and Bounded must share a version; Aggressive differs.
+	if len(sec.Versions) != 2 {
+		for _, v := range sec.Versions {
+			t.Logf("version %v -> %s", v.Policies, c.Parallel.Funcs[v.FuncID].Name)
+		}
+		t.Fatalf("versions = %d, want 2 (original/bounded merged)", len(sec.Versions))
+	}
+	vo := sec.PolicyVersion["original"]
+	vb := sec.PolicyVersion["bounded"]
+	va := sec.PolicyVersion["aggressive"]
+	if vo != vb {
+		t.Errorf("original version %d != bounded version %d", vo, vb)
+	}
+	if va == vo {
+		t.Error("aggressive merged with original, want distinct")
+	}
+	merged := sec.Versions[vo]
+	if got := merged.Label(); got != "original/bounded" {
+		t.Errorf("merged label = %q", got)
+	}
+	// Aggressive lifts the accumulator lock out of the inner loop.
+	agg := ast.Print(c.PolicyPrograms[syncopt.Aggressive])
+	if !strings.Contains(agg, "pot_pair__unsync") {
+		t.Errorf("aggressive did not expand pot_pair:\n%s", agg)
+	}
+	if !strings.Contains(agg, "acquire(acc.mutex) {\n      for j") &&
+		!strings.Contains(agg, "acquire(acc.mutex) {\n        for j") {
+		t.Logf("aggressive poteng:\n%s", agg)
+	}
+}
+
+// interfLike is the Water INTERF shape: each pair operation updates three
+// force components on each of the two molecules. Bounded and Aggressive
+// both merge the per-molecule regions and nothing lifts (two different
+// locks per iteration), so they produce identical code.
+const interfLike = `
+extern force(a: float, b: float): float cost 800;
+param n: int = 8;
+
+class Mol {
+  pos: float;
+  fx: float;
+  fy: float;
+  fz: float;
+  method pair(o: Mol) {
+    let f: float = force(this.pos, o.pos);
+    this.fx = this.fx + f;
+    this.fy = this.fy + f * 0.5;
+    this.fz = this.fz + f * 0.25;
+    o.fx = o.fx - f;
+    o.fy = o.fy - f * 0.5;
+    o.fz = o.fz - f * 0.25;
+  }
+}
+
+func interf(ms: Mol[], cnt: int) {
+  for i in 0..cnt {
+    for j in 0..cnt {
+      if j > i {
+        ms[i].pair(ms[j]);
+      }
+    }
+  }
+}
+
+func main() {
+  let ms: Mol[] = new Mol[n];
+  for i in 0..n {
+    ms[i] = new Mol();
+    ms[i].pos = tofloat(i);
+  }
+  interf(ms, n);
+}
+`
+
+func TestCompileInterfLike(t *testing.T) {
+	c, err := Compile(interfLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := c.Parallel.Sections[0]
+	if sec.Name != "INTERF" {
+		t.Errorf("section = %q", sec.Name)
+	}
+	if len(sec.Versions) != 2 {
+		for _, v := range sec.Versions {
+			t.Logf("version %v -> %s", v.Policies, c.Parallel.Funcs[v.FuncID].Name)
+		}
+		t.Fatalf("versions = %d, want 2 (bounded/aggressive merged)", len(sec.Versions))
+	}
+	if sec.PolicyVersion["bounded"] != sec.PolicyVersion["aggressive"] {
+		t.Error("bounded and aggressive versions differ, want merged")
+	}
+	if sec.PolicyVersion["original"] == sec.PolicyVersion["bounded"] {
+		t.Error("original merged with bounded, want distinct")
+	}
+	// Original has six acquire sites in pair; merged policies have two.
+	orig := ast.Print(c.PolicyPrograms[syncopt.Original])
+	if got := strings.Count(orig, "acquire("); got != 6 {
+		t.Errorf("original acquire sites = %d, want 6", got)
+	}
+	bounded := ast.Print(c.PolicyPrograms[syncopt.Bounded])
+	if got := strings.Count(bounded, "acquire("); got != 2 {
+		t.Errorf("bounded acquire sites = %d, want 2\n%s", got, bounded)
+	}
+}
+
+func TestSizesOrdering(t *testing.T) {
+	c, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := c.Sizes()
+	if sz.Serial <= 0 {
+		t.Fatalf("serial size = %d", sz.Serial)
+	}
+	sum := 0
+	for _, p := range Policies() {
+		if sz.PerPolicy[p] <= 0 {
+			t.Errorf("policy %s size = %d", p, sz.PerPolicy[p])
+		}
+		if sz.PerPolicy[p] > sz.Dynamic {
+			t.Errorf("policy %s size %d > dynamic %d", p, sz.PerPolicy[p], sz.Dynamic)
+		}
+		sum += sz.PerPolicy[p]
+	}
+	// Shared-subgraph deduplication must make the multi-version build
+	// smaller than three separate single-policy builds (§4.2).
+	if sz.Dynamic >= sum {
+		t.Errorf("dynamic %d not smaller than sum of policies %d", sz.Dynamic, sum)
+	}
+	// The increase of Dynamic over a single policy must be modest: shared
+	// subgraphs are generated once (§4.2, Table 1).
+	if sz.Dynamic > 2*sz.PerPolicy["aggressive"] {
+		t.Errorf("dynamic %d more than doubles aggressive %d", sz.Dynamic, sz.PerPolicy["aggressive"])
+	}
+}
+
+func TestSerialProgramHasNoSyncOrSections(t *testing.T) {
+	c, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Serial.Sections) != 0 {
+		t.Errorf("serial sections = %d", len(c.Serial.Sections))
+	}
+	for _, f := range c.Serial.Funcs {
+		for _, in := range f.Code {
+			switch in.Op.String() {
+			case "acquire", "release", "parallel":
+				t.Errorf("serial %s contains %v", f.Name, in.Op)
+			}
+		}
+	}
+}
+
+func TestDedupSharedCode(t *testing.T) {
+	c, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main is identical in all policies: exactly one main must survive
+	// deduplication, and all three names must resolve to it.
+	var mains []string
+	for _, f := range c.Parallel.Funcs {
+		if f.Source == "main" {
+			mains = append(mains, f.Name)
+		}
+	}
+	if len(mains) != 1 {
+		t.Errorf("main copies after dedup = %v, want 1", mains)
+	}
+	mo := c.Parallel.FuncID("main@original")
+	mb := c.Parallel.FuncID("main@bounded")
+	ma := c.Parallel.FuncID("main@aggressive")
+	if mo < 0 || mo != mb || mo != ma {
+		t.Errorf("main ids = %d/%d/%d, want all equal", mo, mb, ma)
+	}
+	if c.Parallel.MainID != mo {
+		t.Errorf("MainID = %d, want %d", c.Parallel.MainID, mo)
+	}
+}

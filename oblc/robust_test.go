@@ -1,0 +1,40 @@
+package oblc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks that the entire pipeline rejects malformed input with
+// an error — never a panic. Run with -fuzz=FuzzCompile for exploration; the
+// seed corpus runs as part of the regular test suite.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"class",
+		"func main() {",
+		"func main() { let x: int = ; }",
+		"class C { v: float; method m() { this.v = this.v + 1.0; } }",
+		"func main() { print 1 + ; }",
+		"param p: int = 999999999999999999999;",
+		"extern f(: float): float;",
+		"func main() { for i in 0.. { } }",
+		"/* unterminated",
+		"func f(): int { if true { return 1; } }",
+		"class C { method m() { this.m( } }",
+		strings.Repeat("{", 500),
+		"func main() { a.b.c.d.e(); }",
+		"func main() { let x: int[] = new int[-1]; print len(x); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Compile panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Compile(src)
+	})
+}

@@ -1,0 +1,278 @@
+// Package theory implements the worst-case analysis of dynamic feedback
+// from §5 of Diniz & Rinard, "Dynamic Feedback: An Effective Technique for
+// Adaptive Computing" (PLDI 1997).
+//
+// The analysis compares dynamic feedback against a hypothetical,
+// unrealizable optimal algorithm that always uses the best policy. Changes
+// in policy overheads are assumed to be bounded by an exponential decay
+// function with rate Lambda. In the worst case, several policies tie for
+// the lowest sampled overhead v; dynamic feedback arbitrarily picks one
+// whose overhead then rises at the maximum bounded rate,
+//
+//	o0(t) = 1 + (v-1)·e^(-λt),                              (eq. 1)
+//
+// while the overhead of the policy the optimal algorithm picks falls at the
+// maximum bounded rate,
+//
+//	o1(t) = v·e^(-λt).                                      (eq. 4)
+//
+// Useful work over an interval is Work_T = ∫₀ᵀ (1-o(t)) dt (eq. 2). The
+// package provides the resulting work formulas (eqs. 3 and 5), the
+// work deficit of dynamic feedback over a sampling-plus-production period
+// (eq. 6), the feasibility condition on the production interval P for a
+// desired bound δ (eq. 7), and the optimal production interval P_opt
+// (eq. 9), which minimizes the per-unit-time worst-case deficit (eq. 8).
+//
+// All times are in the same (arbitrary) unit; Lambda is in inverse time
+// units. The paper's running example uses S = 1.0, N = 2, λ = 0.065 and
+// δ = 0.5, for which P_opt ≈ 7.25.
+package theory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params carries the analysis parameters.
+type Params struct {
+	// S is the effective sampling interval: the minimum time from the start
+	// of a sampling interval until every processor has detected its
+	// expiration and proceeded (§4.1).
+	S float64
+	// N is the number of policies; the sampling phase lasts S·N.
+	N int
+	// Lambda is the exponential decay rate bounding how fast policy
+	// overheads may change.
+	Lambda float64
+}
+
+func (p Params) validate() error {
+	if !(p.S > 0) || math.IsInf(p.S, 0) {
+		return fmt.Errorf("theory: S must be positive and finite, got %v", p.S)
+	}
+	if p.N < 1 {
+		return fmt.Errorf("theory: N must be at least 1, got %d", p.N)
+	}
+	if !(p.Lambda > 0) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("theory: Lambda must be positive and finite, got %v", p.Lambda)
+	}
+	return nil
+}
+
+// SN returns the total sampling time S·N.
+func (p Params) SN() float64 { return p.S * float64(p.N) }
+
+// ChosenOverhead returns o0(t) = 1 + (v-1)·e^(-λt), the worst-case overhead
+// trajectory of the policy dynamic feedback selected (eq. 1).
+func (p Params) ChosenOverhead(v, t float64) float64 {
+	return 1 + (v-1)*math.Exp(-p.Lambda*t)
+}
+
+// OptimalOverhead returns o1(t) = v·e^(-λt), the best-case overhead
+// trajectory of the policy the optimal algorithm selected (eq. 4).
+func (p Params) OptimalOverhead(v, t float64) float64 {
+	return v * math.Exp(-p.Lambda*t)
+}
+
+// WorkChosen returns the useful work the dynamic feedback algorithm
+// performs during a production interval of length P when the selected
+// policy's overhead follows the worst-case trajectory (eq. 3):
+//
+//	Work = (1-v)/λ · (1 - e^(-λP))
+func (p Params) WorkChosen(v, P float64) float64 {
+	return (1 - v) / p.Lambda * (1 - math.Exp(-p.Lambda*P))
+}
+
+// WorkOptimal returns the useful work the optimal algorithm performs over
+// the first P time units when its policy's overhead follows the best-case
+// trajectory (eq. 5):
+//
+//	Work = P - v/λ · (1 - e^(-λP))
+func (p Params) WorkOptimal(v, P float64) float64 {
+	return P - v/p.Lambda*(1-math.Exp(-p.Lambda*P))
+}
+
+// WorkDeficit returns the worst-case difference in useful work between the
+// optimal algorithm and dynamic feedback over a full sampling-plus-
+// production period of length P + S·N (eq. 6):
+//
+//	deficit = S·N + P + (1/λ)·e^(-λP) - 1/λ
+//
+// The deficit is independent of the sampled overhead v: the v terms in
+// eqs. 3 and 5 cancel, and the analysis conservatively assumes dynamic
+// feedback performs no useful work during sampling while the optimal
+// algorithm runs a zero-overhead policy for those S·N time units.
+func (p Params) WorkDeficit(P float64) float64 {
+	l := p.Lambda
+	return p.SN() + P + math.Exp(-l*P)/l - 1/l
+}
+
+// MeanDeficit returns the worst-case work deficit per unit time over the
+// period P + S·N (eq. 8). P_opt minimizes this quantity.
+func (p Params) MeanDeficit(P float64) float64 {
+	return p.WorkDeficit(P) / (P + p.SN())
+}
+
+// Feasible reports whether a production interval P guarantees that dynamic
+// feedback is at most delta worse than the optimal algorithm over the
+// period P + S·N (Definition 1 and eq. 7):
+//
+//	(1-δ)·P + (1/λ)·e^(-λP)  ≤  (δ-1)·S·N + 1/λ
+//
+// The inequality bounds P both below (P must amortize the sampling time
+// S·N) and above (P must be short enough that a policy gone bad is
+// abandoned quickly).
+func (p Params) Feasible(P, delta float64) bool {
+	return p.constraintLHS(P, delta) <= p.constraintRHS(delta)
+}
+
+func (p Params) constraintLHS(P, delta float64) float64 {
+	return (1-delta)*P + math.Exp(-p.Lambda*P)/p.Lambda
+}
+
+func (p Params) constraintRHS(delta float64) float64 {
+	return (delta-1)*p.SN() + 1/p.Lambda
+}
+
+// ErrInfeasible is returned by FeasibleRegion when no production interval
+// can achieve the requested bound: the decay rate is too large relative to
+// the sampling cost for dynamic feedback to keep up (§5).
+var ErrInfeasible = errors.New("theory: no production interval satisfies the bound")
+
+// FeasibleRegion returns the interval [lo, hi] of production interval
+// lengths P that satisfy the eq. 7 bound for the given delta. If delta ≥ 1
+// every positive P is feasible and hi is +Inf. If no P is feasible it
+// returns ErrInfeasible.
+func (p Params) FeasibleRegion(delta float64) (lo, hi float64, err error) {
+	if err := p.validate(); err != nil {
+		return 0, 0, err
+	}
+	if !(delta > 0) {
+		return 0, 0, fmt.Errorf("theory: delta must be positive, got %v", delta)
+	}
+	if delta >= 1 {
+		// The constraint LHS is nonincreasing in delta; at delta ≥ 1 the
+		// linear term vanishes or helps, and the RHS grows: everything
+		// (P > 0) is feasible.
+		return 0, math.Inf(1), nil
+	}
+	// LHS(P) = (1-δ)P + e^(-λP)/λ is strictly convex with a unique minimum
+	// at e^(-λP*) = 1-δ, i.e. P* = -ln(1-δ)/λ.
+	pstar := -math.Log(1-delta) / p.Lambda
+	rhs := p.constraintRHS(delta)
+	if p.constraintLHS(pstar, delta) > rhs {
+		return 0, 0, ErrInfeasible
+	}
+	f := func(P float64) float64 { return p.constraintLHS(P, delta) - rhs }
+	// Left boundary: LHS decreasing on [0, P*].
+	if f(0) <= 0 {
+		lo = 0
+	} else {
+		lo = bisectDecreasing(f, 0, pstar)
+	}
+	// Right boundary: LHS increasing on [P*, ∞); bracket by doubling.
+	hiBracket := pstar + 1
+	for f(hiBracket) <= 0 {
+		hiBracket *= 2
+		if hiBracket > 1e12 {
+			return lo, math.Inf(1), nil
+		}
+	}
+	hi = bisectIncreasing(f, pstar, hiBracket)
+	return lo, hi, nil
+}
+
+// POpt returns the production interval that minimizes the worst-case mean
+// work deficit (eq. 8) by solving eq. 9:
+//
+//	e^(-λP) · (P + S·N + 1/λ) = 1/λ
+//
+// The left-hand side decreases monotonically from S·N + 1/λ > 1/λ at P = 0
+// toward 0, so the root exists and is unique; it is found by bisection.
+func (p Params) POpt() (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	l := p.Lambda
+	g := func(P float64) float64 {
+		return math.Exp(-l*P)*(P+p.SN()+1/l) - 1/l
+	}
+	hi := 1.0
+	for g(hi) > 0 {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("theory: POpt bracket exceeded for %+v", p)
+		}
+	}
+	return bisectIncreasing(func(P float64) float64 { return -g(P) }, 0, hi), nil
+}
+
+// bisectIncreasing finds the root of an increasing f on [lo, hi] with
+// f(lo) ≤ 0 ≤ f(hi).
+func bisectIncreasing(f func(float64) float64, lo, hi float64) float64 {
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if f(mid) <= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// bisectDecreasing finds the root of a decreasing f on [lo, hi] with
+// f(lo) ≥ 0 ≥ f(hi).
+func bisectDecreasing(f func(float64) float64, lo, hi float64) float64 {
+	return bisectIncreasing(func(x float64) float64 { return -f(x) }, lo, hi)
+}
+
+// MinimalDelta returns the smallest performance bound achievable by any
+// production interval: the worst-case mean work deficit at P_opt. For any
+// delta below this value FeasibleRegion reports ErrInfeasible; for any
+// delta above it the region is nonempty.
+func (p Params) MinimalDelta() (float64, error) {
+	popt, err := p.POpt()
+	if err != nil {
+		return 0, err
+	}
+	return p.MeanDeficit(popt), nil
+}
+
+// RegionPoint is one sample of the Figure 3 curves: the constraint
+// left-hand side at production interval P, the (constant) right-hand side,
+// and whether P is feasible.
+type RegionPoint struct {
+	P        float64
+	LHS      float64
+	RHS      float64
+	Feasible bool
+}
+
+// Figure3Series samples the eq. 7 constraint over [pmin, pmax] with the
+// given step, reproducing the curves of Figure 3 in the paper. The paper's
+// example values are Figure3Params and Figure3Delta.
+func (p Params) Figure3Series(delta, pmin, pmax, step float64) ([]RegionPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if step <= 0 || pmax < pmin {
+		return nil, fmt.Errorf("theory: bad series range [%v,%v] step %v", pmin, pmax, step)
+	}
+	rhs := p.constraintRHS(delta)
+	var out []RegionPoint
+	for P := pmin; P <= pmax+step/2; P += step {
+		lhs := p.constraintLHS(P, delta)
+		out = append(out, RegionPoint{P: P, LHS: lhs, RHS: rhs, Feasible: lhs <= rhs})
+	}
+	return out, nil
+}
+
+// The running example from §5 of the paper: an effective sampling interval
+// of 1 second, two policies, decay rate 0.065 and performance bound 0.5.
+// With these values P_opt ≈ 7.25, as the paper reports.
+var Figure3Params = Params{S: 1.0, N: 2, Lambda: 0.065}
+
+// Figure3Delta is the δ of the paper's running example.
+const Figure3Delta = 0.5

@@ -1,0 +1,286 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{S: 0, N: 2, Lambda: 0.1},
+		{S: -1, N: 2, Lambda: 0.1},
+		{S: 1, N: 0, Lambda: 0.1},
+		{S: 1, N: 2, Lambda: 0},
+		{S: math.Inf(1), N: 2, Lambda: 0.1},
+	}
+	for _, p := range bad {
+		if _, err := p.POpt(); err == nil {
+			t.Errorf("POpt(%+v): want error", p)
+		}
+		if _, _, err := p.FeasibleRegion(0.5); err == nil {
+			t.Errorf("FeasibleRegion(%+v): want error", p)
+		}
+	}
+	if _, _, err := Figure3Params.FeasibleRegion(0); err == nil {
+		t.Error("FeasibleRegion(delta=0): want error")
+	}
+	if _, err := Figure3Params.Figure3Series(0.5, 10, 0, 1); err == nil {
+		t.Error("Figure3Series with pmax<pmin: want error")
+	}
+}
+
+func TestOverheadTrajectories(t *testing.T) {
+	p := Figure3Params
+	v := 0.3
+	// At t=0 both trajectories start at v.
+	if got := p.ChosenOverhead(v, 0); math.Abs(got-v) > 1e-12 {
+		t.Errorf("ChosenOverhead(v,0) = %v, want %v", got, v)
+	}
+	if got := p.OptimalOverhead(v, 0); math.Abs(got-v) > 1e-12 {
+		t.Errorf("OptimalOverhead(v,0) = %v, want %v", got, v)
+	}
+	// The chosen policy's overhead rises toward 1; the optimal's falls to 0.
+	if got := p.ChosenOverhead(v, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ChosenOverhead(v,∞) = %v, want 1", got)
+	}
+	if got := p.OptimalOverhead(v, 1e6); math.Abs(got) > 1e-9 {
+		t.Errorf("OptimalOverhead(v,∞) = %v, want 0", got)
+	}
+}
+
+// numericWork integrates 1-o(t) numerically for cross-checking the closed
+// forms of eqs. 3 and 5.
+func numericWork(o func(t float64) float64, P float64) float64 {
+	const n = 200000
+	h := P / n
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		t := (float64(i) + 0.5) * h
+		sum += (1 - o(t)) * h
+	}
+	return sum
+}
+
+func TestWorkClosedFormsMatchNumericIntegration(t *testing.T) {
+	p := Params{S: 1, N: 3, Lambda: 0.2}
+	for _, v := range []float64{0, 0.25, 0.8, 1} {
+		for _, P := range []float64{0.5, 3, 10} {
+			wantChosen := numericWork(func(x float64) float64 { return p.ChosenOverhead(v, x) }, P)
+			if got := p.WorkChosen(v, P); math.Abs(got-wantChosen) > 1e-6*(1+math.Abs(wantChosen)) {
+				t.Errorf("WorkChosen(v=%v,P=%v) = %v, numeric %v", v, P, got, wantChosen)
+			}
+			wantOpt := numericWork(func(x float64) float64 { return p.OptimalOverhead(v, x) }, P)
+			if got := p.WorkOptimal(v, P); math.Abs(got-wantOpt) > 1e-6*(1+math.Abs(wantOpt)) {
+				t.Errorf("WorkOptimal(v=%v,P=%v) = %v, numeric %v", v, P, got, wantOpt)
+			}
+		}
+	}
+}
+
+func TestWorkDeficitMatchesEquation6(t *testing.T) {
+	// Eq. 6: the deficit over P+SN is WorkOptimal(P)+SN - WorkChosen(P),
+	// independent of v.
+	p := Params{S: 2, N: 2, Lambda: 0.1}
+	for _, v := range []float64{0.1, 0.5, 0.9} {
+		for _, P := range []float64{1, 5, 20} {
+			want := p.WorkOptimal(v, P) + p.SN() - p.WorkChosen(v, P)
+			if got := p.WorkDeficit(P); math.Abs(got-want) > 1e-9 {
+				t.Errorf("WorkDeficit(P=%v) = %v, want %v (v=%v)", P, got, want, v)
+			}
+		}
+	}
+}
+
+func TestPOptPaperExample(t *testing.T) {
+	// "For the example values used in Figure 3, the optimal value of P is
+	// P_opt ≈ 7.25."
+	got, err := Figure3Params.POpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-7.25) > 0.03 {
+		t.Errorf("POpt = %v, want ≈7.25", got)
+	}
+}
+
+func TestPOptSatisfiesEquation9(t *testing.T) {
+	p := Params{S: 0.5, N: 3, Lambda: 0.12}
+	P, err := p.POpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Lambda
+	lhs := math.Exp(-l*P) * (P + p.SN() + 1/l)
+	if math.Abs(lhs-1/l) > 1e-6 {
+		t.Errorf("eq9 residual: %v vs %v", lhs, 1/l)
+	}
+}
+
+func TestFeasibleRegionPaperExample(t *testing.T) {
+	lo, hi, err := Figure3Params.FeasibleRegion(Figure3Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("region = [%v, %v]", lo, hi)
+	}
+	// The region must contain the optimal production interval.
+	popt, err := Figure3Params.POpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popt < lo || popt > hi {
+		t.Errorf("POpt %v outside feasible region [%v, %v]", popt, lo, hi)
+	}
+	// Boundary consistency: just inside is feasible, just outside is not.
+	eps := 1e-6
+	if !Figure3Params.Feasible(lo+eps, Figure3Delta) {
+		t.Error("lo+eps not feasible")
+	}
+	if Figure3Params.Feasible(lo-1e-3, Figure3Delta) && lo > 1e-3 {
+		t.Error("lo-1e-3 feasible")
+	}
+	if !Figure3Params.Feasible(hi-eps, Figure3Delta) {
+		t.Error("hi-eps not feasible")
+	}
+	if Figure3Params.Feasible(hi+1e-3, Figure3Delta) {
+		t.Error("hi+1e-3 feasible")
+	}
+}
+
+func TestInfeasibleWhenDecayTooFast(t *testing.T) {
+	// With a large decay rate the overheads can change faster than any
+	// production interval can track: no P satisfies the bound (§5).
+	p := Params{S: 1, N: 2, Lambda: 5}
+	if _, _, err := p.FeasibleRegion(0.5); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDeltaAtLeastOneAlwaysFeasible(t *testing.T) {
+	lo, hi, err := Figure3Params.FeasibleRegion(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("region = [%v, %v], want [0, +Inf)", lo, hi)
+	}
+}
+
+func TestFigure3Series(t *testing.T) {
+	pts, err := Figure3Params.Figure3Series(Figure3Delta, 0, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 61 {
+		t.Fatalf("len(pts) = %d, want 61", len(pts))
+	}
+	// The series must show infeasible → feasible → infeasible, matching the
+	// bounded feasible region of Figure 3.
+	if pts[0].Feasible {
+		t.Error("P=0 marked feasible")
+	}
+	sawFeasible := false
+	for _, pt := range pts {
+		if pt.Feasible {
+			sawFeasible = true
+		}
+		if pt.Feasible != (pt.LHS <= pt.RHS) {
+			t.Errorf("P=%v: Feasible flag inconsistent", pt.P)
+		}
+	}
+	if !sawFeasible {
+		t.Error("no feasible points in series")
+	}
+	if pts[len(pts)-1].Feasible {
+		t.Error("P=30 marked feasible, want infeasible (upper bound ≈ 20.7)")
+	}
+}
+
+func TestMinimalDeltaIsTheFeasibilityThreshold(t *testing.T) {
+	p := Figure3Params
+	min, err := p.MinimalDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min <= 0 || min >= 1 {
+		t.Fatalf("MinimalDelta = %v", min)
+	}
+	if _, _, err := p.FeasibleRegion(min + 1e-3); err != nil {
+		t.Errorf("delta just above minimum infeasible: %v", err)
+	}
+	if _, _, err := p.FeasibleRegion(min - 1e-3); err != ErrInfeasible {
+		t.Errorf("delta just below minimum feasible: %v", err)
+	}
+}
+
+// Property: POpt minimizes MeanDeficit — perturbing P in either direction
+// never decreases the mean deficit.
+func TestQuickPOptMinimizesMeanDeficit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			S:      0.1 + rng.Float64()*3,
+			N:      1 + rng.Intn(5),
+			Lambda: 0.01 + rng.Float64()*0.5,
+		}
+		P, err := p.POpt()
+		if err != nil {
+			return false
+		}
+		at := p.MeanDeficit(P)
+		for _, d := range []float64{0.01, 0.1, 1, 5} {
+			if p.MeanDeficit(P+d) < at-1e-9 {
+				return false
+			}
+			if P-d > 0 && p.MeanDeficit(P-d) < at-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Feasible(P, δ) is exactly MeanDeficit(P) ≤ δ — Definition 1
+// restated per unit time.
+func TestQuickFeasibleEquivalentToMeanDeficitBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			S:      0.1 + rng.Float64()*2,
+			N:      1 + rng.Intn(4),
+			Lambda: 0.01 + rng.Float64()*0.3,
+		}
+		delta := 0.05 + rng.Float64()*0.9
+		P := 0.1 + rng.Float64()*40
+		feasible := p.Feasible(P, delta)
+		byDeficit := p.MeanDeficit(P) <= delta
+		return feasible == byDeficit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the work deficit is nonnegative — the optimal algorithm never
+// does less work than worst-case dynamic feedback.
+func TestQuickDeficitNonnegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			S:      0.01 + rng.Float64()*3,
+			N:      1 + rng.Intn(6),
+			Lambda: 0.001 + rng.Float64(),
+		}
+		P := rng.Float64() * 100
+		return p.WorkDeficit(P) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
