@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4] [-list]
+//	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
+//	        [-csv dir] [-json path] [-list]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -22,6 +25,7 @@ func main() {
 	procsFlag := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,6,8,12,16)")
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows and series as CSV files into this directory")
+	jsonPath := flag.String("json", "", "also write every report (rows, series, checks) as machine-readable JSON to this path")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -57,6 +61,7 @@ func main() {
 	}
 	suite := bench.NewSuite(cfg)
 	failed := 0
+	var reports []*bench.Report
 	for _, e := range selected {
 		rep, err := e.Run(suite)
 		if err != nil {
@@ -70,12 +75,43 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		reports = append(reports, rep)
 		failed += len(rep.Failed())
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, cfg, reports, failed); err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "dfbench: %d shape check(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeJSON stores every report plus run metadata as one JSON document,
+// the machine-readable counterpart of the text output, so benchmark
+// results can accumulate as a perf trajectory across changes.
+func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, failed int) error {
+	doc := struct {
+		GeneratedAt  string          `json:"generated_at"`
+		Quick        bool            `json:"quick"`
+		Procs        []int           `json:"procs,omitempty"`
+		FailedChecks int             `json:"failed_checks"`
+		Experiments  []*bench.Report `json:"experiments"`
+	}{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Quick:        cfg.Quick,
+		Procs:        cfg.Procs,
+		FailedChecks: failed,
+		Experiments:  reports,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeCSV stores a report's table as <id>.csv and each series as

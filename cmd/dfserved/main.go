@@ -1,0 +1,96 @@
+// Command dfserved is a long-running server for adaptive sections: it
+// keeps the bundled native workloads hot behind named dynamic feedback
+// sections, runs compiled OBL programs on the simulated machine, and
+// persists what sampling learns so a restarted server warm-starts from
+// its previous winners (§4.5 generalized across runs).
+//
+// Usage:
+//
+//	dfserved [-addr :8080] [-store policies.json] [-workers N]
+//	         [-sampling 5ms] [-production 2s] [-max-concurrent 2] [-cold]
+//
+// Endpoints (see docs/serve.md):
+//
+//	GET  /healthz   liveness and counters
+//	GET  /sections  registered sections and variants
+//	GET  /stats     live per-variant overhead/winner JSON
+//	POST /run       submit a workload: {"section":"sort","iters":50000}
+//	                or {"app":"water","procs":8,"policy":"dynamic"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dynfb/store"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "", "policy store file (JSON; empty = in-memory, knowledge dies with the process)")
+	workers := flag.Int("workers", 0, "workers per native section (default GOMAXPROCS)")
+	sampling := flag.Duration("sampling", 5*time.Millisecond, "target sampling interval")
+	production := flag.Duration("production", 2*time.Second, "target production interval")
+	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing workload runs")
+	cold := flag.Bool("cold", false, "ignore stored records at boot (always cold-start)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:          *workers,
+		TargetSampling:   *sampling,
+		TargetProduction: *production,
+		MaxConcurrent:    *maxConcurrent,
+		ColdStart:        *cold,
+	}
+	if *storePath != "" {
+		fs, err := store.OpenFile(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		if warn := fs.LoadWarning(); warn != "" {
+			log.Printf("dfserved: %s", warn)
+		}
+		cfg.Store = fs
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// A final persist on SIGINT/SIGTERM keeps the last sampling rounds.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if err := srv.Close(); err != nil {
+			log.Printf("dfserved: persist on shutdown: %v", err)
+		}
+		httpSrv.Close()
+	}()
+
+	log.Printf("dfserved: listening on %s (sections %v, store %s)",
+		*addr, srv.SectionNames(), storeDesc(*storePath))
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func storeDesc(path string) string {
+	if path == "" {
+		return "in-memory"
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfserved:", err)
+	os.Exit(1)
+}

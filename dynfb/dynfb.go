@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/dynfb/store"
 	"repro/internal/core"
 )
 
@@ -89,7 +90,29 @@ type Config struct {
 	// acquire/release pair, used to convert acquisition counts into
 	// locking overhead time. Zero means calibrate at section creation.
 	LockPairCost time.Duration
+	// Name identifies the section in a policy Store. Required when Store
+	// is set; unused otherwise.
+	Name string
+	// Store, when non-nil, persists what sampling learns: every Run that
+	// entered a production phase writes a record (winner, winner overhead,
+	// per-variant aggregates) keyed by Name and an environment fingerprint
+	// (GOMAXPROCS, Workers, variant-set hash). Long-running callers can
+	// also checkpoint mid-Run with Section.Persist.
+	Store store.Store
+	// WarmStart seeds the controller from a fresh matching Store record at
+	// section creation — §4.5 generalized across process restarts: the
+	// recorded winner is sampled first and the rest of the first sampling
+	// phase is skipped while the winner stays acceptable. A record whose
+	// fingerprint or variant set does not match is ignored and the section
+	// cold-starts with full sampling. Requires Store (and therefore Name);
+	// implies OrderByHistory.
+	WarmStart bool
 }
+
+// maxWorkers bounds Config.Workers; each worker is a goroutine, and counts
+// beyond this are assumed to be bugs (e.g. a byte count passed as a worker
+// count) rather than intent.
+const maxWorkers = 1 << 16
 
 // Sample is one completed measurement interval.
 type Sample struct {
@@ -175,9 +198,12 @@ func (c *Ctx) AddOverhead(d time.Duration) {
 type Section struct {
 	cfg      Config
 	variants []Variant
+	names    []string // resolved variant names, in declaration order
 	ctl      *core.Controller
 	epoch    time.Time
 	pairCost time.Duration
+	fp       store.Fingerprint
+	warm     bool // a store record warm-started the controller
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -193,21 +219,57 @@ type Section struct {
 	snaps  []meter
 }
 
+// validate rejects nonsensical configurations eagerly, so misuse surfaces
+// at section creation instead of as a hang or misbehaviour inside Run.
+func (cfg Config) validate() error {
+	if cfg.Workers < 0 {
+		return fmt.Errorf("dynfb: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers > maxWorkers {
+		return fmt.Errorf("dynfb: %d workers exceeds the maximum %d", cfg.Workers, maxWorkers)
+	}
+	if cfg.TargetSampling < 0 {
+		return fmt.Errorf("dynfb: negative target sampling interval %v", cfg.TargetSampling)
+	}
+	if cfg.TargetProduction < 0 {
+		return fmt.Errorf("dynfb: negative target production interval %v", cfg.TargetProduction)
+	}
+	if cfg.TargetSampling > 0 && cfg.TargetProduction > 0 && cfg.TargetSampling > cfg.TargetProduction {
+		return fmt.Errorf("dynfb: target sampling interval %v exceeds target production interval %v",
+			cfg.TargetSampling, cfg.TargetProduction)
+	}
+	if cfg.LockPairCost < 0 {
+		return fmt.Errorf("dynfb: negative lock pair cost %v", cfg.LockPairCost)
+	}
+	if cfg.WarmStart && cfg.Store == nil {
+		return fmt.Errorf("dynfb: WarmStart requires a Store")
+	}
+	if cfg.Store != nil && cfg.Name == "" {
+		return fmt.Errorf("dynfb: a Store requires Config.Name to key the section's records")
+	}
+	return nil
+}
+
 // NewSection creates a section with the given variants.
 func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("dynfb: at least one variant is required")
 	}
-	if cfg.Workers <= 0 {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.TargetSampling <= 0 {
+	if cfg.TargetSampling == 0 {
 		cfg.TargetSampling = 10 * time.Millisecond
 	}
-	if cfg.TargetProduction <= 0 {
+	if cfg.TargetProduction == 0 {
 		cfg.TargetProduction = 10 * time.Second
 	}
+	names := make([]string, len(variants))
 	policies := make([]core.PolicyInfo, len(variants))
+	seen := make(map[string]int, len(variants))
 	for i, v := range variants {
 		if v.Body == nil {
 			return nil, fmt.Errorf("dynfb: variant %d (%s) has no body", i, v.Name)
@@ -216,6 +278,11 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 		if name == "" {
 			name = fmt.Sprintf("variant%d", i)
 		}
+		if j, dup := seen[name]; dup {
+			return nil, fmt.Errorf("dynfb: variants %d and %d share the name %q", j, i, name)
+		}
+		seen[name] = i
+		names[i] = name
 		policies[i] = core.PolicyInfo{Name: name, Cutoff: core.CutoffComponent(v.Cutoff)}
 	}
 	ctl, err := core.NewController(core.Config{
@@ -223,7 +290,7 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 		TargetSampling:     core.Nanos(cfg.TargetSampling),
 		TargetProduction:   core.Nanos(cfg.TargetProduction),
 		EarlyCutoff:        cfg.EarlyCutoff,
-		OrderByHistory:     cfg.OrderByHistory,
+		OrderByHistory:     cfg.OrderByHistory || cfg.WarmStart,
 		SpanExecutions:     cfg.SpanExecutions,
 		AutoTuneProduction: cfg.AutoTuneProduction,
 	})
@@ -233,11 +300,20 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 	s := &Section{
 		cfg:      cfg,
 		variants: variants,
+		names:    names,
 		ctl:      ctl,
 		epoch:    time.Now(),
 		pairCost: cfg.LockPairCost,
 		meters:   make([]meter, cfg.Workers),
 		snaps:    make([]meter, cfg.Workers),
+	}
+	s.fp = store.Fingerprint{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      cfg.Workers,
+		VariantsHash: store.VariantsHash(names),
+	}
+	if cfg.WarmStart {
+		s.warmStart()
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if s.pairCost <= 0 {
@@ -245,6 +321,51 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 	}
 	return s, nil
 }
+
+// warmStart seeds the controller from a matching store record. Any
+// mismatch — no record, a different environment fingerprint, an unknown
+// winner name — silently degrades to a cold start: the store is a cache,
+// and a miss just means full sampling.
+func (s *Section) warmStart() {
+	rec, ok, err := s.cfg.Store.Load(s.cfg.Name)
+	if err != nil || !ok || rec.Fingerprint != s.fp {
+		return
+	}
+	winner := -1
+	for i, name := range s.names {
+		if name == rec.Winner {
+			winner = i
+			break
+		}
+	}
+	if winner < 0 {
+		return
+	}
+	seed := core.Seed{Winner: winner, WinnerOverhead: rec.WinnerOverhead}
+	if len(rec.Policies) == len(s.names) {
+		stats := make([]core.PolicyStats, len(rec.Policies))
+		for i, p := range rec.Policies {
+			if p.Name != s.names[i] {
+				stats = nil
+				break
+			}
+			stats[i] = core.PolicyStats{
+				TimesSampled:  p.TimesSampled,
+				TimesChosen:   p.TimesChosen,
+				LastOverhead:  p.LastOverhead,
+				TotalOverhead: p.MeanOverhead * float64(p.TimesSampled),
+			}
+		}
+		seed.Stats = stats
+	}
+	if s.ctl.SeedHistory(seed) == nil {
+		s.warm = true
+	}
+}
+
+// WarmStarted reports whether a matching store record seeded this section
+// at creation.
+func (s *Section) WarmStarted() bool { return s.warm }
 
 // calibrateLockPair times uncontended instrumented lock/unlock pairs.
 func calibrateLockPair() time.Duration {
@@ -280,6 +401,10 @@ func (s *Section) Run(lo, hi int) {
 	if hi <= lo {
 		return
 	}
+	// The controller setup happens under s.mu so that StatsSnapshot (which
+	// may run concurrently from another goroutine) always sees a coherent
+	// controller.
+	s.mu.Lock()
 	atomic.StoreInt64(&s.next, int64(lo))
 	s.hi = int64(hi)
 	s.done = false
@@ -291,6 +416,7 @@ func (s *Section) Run(lo, hi int) {
 		s.meters[i] = meter{}
 		s.snaps[i] = meter{}
 	}
+	s.mu.Unlock()
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
@@ -300,6 +426,11 @@ func (s *Section) Run(lo, hi int) {
 		}(w)
 	}
 	wg.Wait()
+	if s.cfg.Store != nil {
+		// Best-effort: the section keeps adapting even if persistence
+		// fails (e.g. a read-only disk); the next Run retries.
+		_ = s.Persist()
+	}
 }
 
 // worker claims and executes iterations until the section completes.
@@ -421,6 +552,104 @@ func (s *Section) Samples() []Sample {
 }
 
 func kindName(k core.SampleKind) string { return k.String() }
+
+// Snapshot is a coherent view of a section's state and per-variant
+// history, safe to take while Run executes: StatsSnapshot synchronizes
+// with the switch barrier instead of stopping the section.
+type Snapshot struct {
+	// Name is Config.Name ("" when the section is unnamed).
+	Name string
+	// Phase is "idle", "sampling" or "production".
+	Phase string
+	// Rounds is the number of completed sampling rounds.
+	Rounds int
+	// Current is the name of the variant the section would run now.
+	Current string
+	// Winner is the variant most recently chosen for production; "" until
+	// a production phase has been entered.
+	Winner string
+	// WinnerOverhead is the overhead Winner measured when chosen.
+	WinnerOverhead float64
+	// WarmStarted reports whether a store record seeded the section.
+	WarmStarted bool
+	// Stats are the per-variant aggregates, in declaration order.
+	Stats []Stats
+}
+
+// StatsSnapshot captures the section's state without stopping it. It may
+// be called concurrently with Run from any goroutine (it briefly contends
+// with the switch barrier for the section lock); long-running servers use
+// it to report live per-variant overheads and to build store records.
+func (s *Section) StatsSnapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Section) snapshotLocked() Snapshot {
+	snap := Snapshot{
+		Name:        s.cfg.Name,
+		Phase:       s.ctl.Phase().String(),
+		Rounds:      s.ctl.Rounds(),
+		Current:     s.names[s.ctl.CurrentPolicy()],
+		WarmStarted: s.warm,
+	}
+	if w, ok := s.ctl.LastWinner(); ok {
+		snap.Winner = s.names[w]
+		snap.WinnerOverhead = s.ctl.LastWinnerOverhead()
+	}
+	cs := s.ctl.Stats()
+	snap.Stats = make([]Stats, len(cs))
+	for i, c := range cs {
+		snap.Stats[i] = Stats{
+			Name:         s.names[i],
+			TimesSampled: c.TimesSampled,
+			TimesChosen:  c.TimesChosen,
+			MeanOverhead: c.MeanOverhead(),
+			LastOverhead: c.LastOverhead,
+		}
+	}
+	return snap
+}
+
+// Persist writes the section's current record to the configured store. It
+// is called automatically at the end of every Run; long-running callers
+// (servers with very long Runs) may also call it concurrently with Run to
+// checkpoint mid-flight. It is a no-op until a production phase has been
+// entered — a record without a winner would carry nothing to warm-start
+// from — and when no store is configured.
+func (s *Section) Persist() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	s.mu.Lock()
+	winner, ok := s.ctl.LastWinner()
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	rec := store.Record{
+		Section:        s.cfg.Name,
+		Fingerprint:    s.fp,
+		Winner:         s.names[winner],
+		WinnerOverhead: s.ctl.LastWinnerOverhead(),
+		Rounds:         s.ctl.Rounds(),
+		UpdatedUnix:    time.Now().Unix(),
+	}
+	for i, c := range s.ctl.Stats() {
+		rec.Policies = append(rec.Policies, store.PolicyRecord{
+			Name:         s.names[i],
+			TimesSampled: c.TimesSampled,
+			TimesChosen:  c.TimesChosen,
+			MeanOverhead: c.MeanOverhead(),
+			LastOverhead: c.LastOverhead,
+		})
+	}
+	s.mu.Unlock()
+	// The store write happens outside the section lock so a slow disk
+	// never stalls the workers' switch barrier.
+	return s.cfg.Store.Save(rec)
+}
 
 // VariantStats returns per-variant aggregates.
 func (s *Section) VariantStats() []Stats {

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// fileSchema is the on-disk envelope of a FileStore.
+type fileSchema struct {
+	Schema  int               `json:"schema"`
+	Records map[string]Record `json:"records"`
+}
+
+// FileStore is a Store backed by a single JSON file. Every Save rewrites
+// the file through a temporary sibling and an atomic rename, so readers
+// (and a crash mid-write) always observe either the old or the new
+// contents, never a torn file.
+type FileStore struct {
+	path string
+	mu   sync.Mutex
+	recs map[string]Record
+	// loadWarning describes a tolerated load failure (corrupt or
+	// version-skewed file), for callers that want to report it.
+	loadWarning string
+}
+
+// OpenFile opens (or initializes) the store file at path. A missing file
+// yields an empty store. A truncated, corrupt, or schema-mismatched file
+// also yields an empty store — the knowledge is re-learnable, and failing
+// to start over a damaged cache would be worse than a cold start; the
+// tolerated condition is reported by LoadWarning. Only environmental
+// errors (e.g. an unreadable file that exists) are returned.
+func OpenFile(path string) (*FileStore, error) {
+	if path == "" {
+		return nil, fmt.Errorf("store: empty file path")
+	}
+	f := &FileStore{path: path, recs: map[string]Record{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return f, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var sc fileSchema
+	if err := json.Unmarshal(data, &sc); err != nil {
+		f.loadWarning = fmt.Sprintf("corrupt store file %s ignored: %v", path, err)
+		return f, nil
+	}
+	if sc.Schema != SchemaVersion {
+		f.loadWarning = fmt.Sprintf("store file %s has schema %d, want %d; starting empty", path, sc.Schema, SchemaVersion)
+		return f, nil
+	}
+	for name, rec := range sc.Records {
+		rec.Section = name
+		f.recs[name] = rec
+	}
+	return f, nil
+}
+
+// Path returns the backing file path.
+func (f *FileStore) Path() string { return f.path }
+
+// LoadWarning reports a tolerated load failure ("" when the file loaded
+// cleanly or did not exist).
+func (f *FileStore) LoadWarning() string { return f.loadWarning }
+
+// Load implements Store.
+func (f *FileStore) Load(section string) (Record, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, ok := f.recs[section]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return cloneRecord(rec), true, nil
+}
+
+// Save implements Store. The whole store is rewritten atomically.
+func (f *FileStore) Save(rec Record) error {
+	if rec.Section == "" {
+		return fmt.Errorf("store: record has no section name")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recs[rec.Section] = cloneRecord(rec)
+	return f.flushLocked()
+}
+
+// Sections implements Store.
+func (f *FileStore) Sections() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return sortedKeys(f.recs), nil
+}
+
+// flushLocked writes the store to a temporary file in the same directory
+// and renames it over the target, so the visible file is always complete.
+func (f *FileStore) flushLocked() error {
+	sc := fileSchema{Schema: SchemaVersion, Records: f.recs}
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, f.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package store persists per-section dynamic feedback policy knowledge
+// across process runs.
+//
+// The paper's controller relearns the best policy from scratch at every
+// process start. Its own §4.5 observation — sample the expected winner
+// first, and skip the rest of the sampling phase while that winner stays
+// acceptable — generalizes naturally across runs: if a previous process
+// already sampled the section in the same environment, the new process can
+// start from the recorded winner instead of a blank slate.
+//
+// A Store maps section names to Records. Each Record carries an environment
+// Fingerprint (GOMAXPROCS, worker count, a hash of the variant set) so that
+// knowledge learned under one configuration is never applied to another:
+// the winning lock discipline at 2 workers is routinely the loser at 16.
+// Consumers (dynfb.Config.Store) treat a fingerprint mismatch as a cache
+// miss and fall back to full sampling.
+//
+// Two implementations are provided: MemStore, for tests and single-process
+// sharing, and FileStore, a JSON file with atomic-rename writes and a
+// versioned schema. A store is a cache of learnable knowledge: corruption,
+// truncation, or schema drift loads as an empty store rather than an error,
+// because the worst case is simply a cold start.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// SchemaVersion is the on-disk schema of FileStore. Files written with a
+// different version load as empty (the knowledge is re-learnable; the
+// format is not negotiated).
+const SchemaVersion = 1
+
+// Fingerprint identifies the environment a record was learned in. Records
+// only warm-start sections whose fingerprint matches exactly.
+type Fingerprint struct {
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at learning time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Workers is the section's worker count.
+	Workers int `json:"workers"`
+	// VariantsHash is VariantsHash over the section's variant names, in
+	// declaration order.
+	VariantsHash string `json:"variants_hash"`
+}
+
+// VariantsHash hashes an ordered variant-name list into a short stable
+// string for Fingerprint.VariantsHash.
+func VariantsHash(names []string) string {
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// PolicyRecord is one variant's accumulated history.
+type PolicyRecord struct {
+	Name         string  `json:"name"`
+	TimesSampled int     `json:"times_sampled"`
+	TimesChosen  int     `json:"times_chosen"`
+	MeanOverhead float64 `json:"mean_overhead"`
+	LastOverhead float64 `json:"last_overhead"`
+}
+
+// Record is everything a section has learned: who won the most recent
+// production selection, at what overhead, and the per-variant aggregates.
+type Record struct {
+	// Section is the section name the record is keyed by.
+	Section string `json:"section"`
+	// Fingerprint is the environment the record was learned in.
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Winner is the variant name most recently chosen for production.
+	Winner string `json:"winner"`
+	// WinnerOverhead is the overhead the winner measured when chosen.
+	WinnerOverhead float64 `json:"winner_overhead"`
+	// Rounds is the number of completed sampling rounds behind the record.
+	Rounds int `json:"rounds"`
+	// Policies are the per-variant aggregates, in declaration order.
+	Policies []PolicyRecord `json:"policies"`
+	// UpdatedUnix is the wall-clock time of the last save, Unix seconds.
+	UpdatedUnix int64 `json:"updated_unix"`
+}
+
+func cloneRecord(r Record) Record {
+	out := r
+	out.Policies = append([]PolicyRecord(nil), r.Policies...)
+	return out
+}
+
+// Store persists section records. Implementations must be safe for
+// concurrent use: a server saves from many sections at once.
+type Store interface {
+	// Load returns the record for section and whether one exists.
+	Load(section string) (Record, bool, error)
+	// Save upserts rec, keyed by rec.Section.
+	Save(rec Record) error
+	// Sections returns the stored section names, sorted.
+	Sections() ([]string, error)
+}
+
+// MemStore is an in-memory Store, for tests and for sharing knowledge
+// between sections of a single process.
+type MemStore struct {
+	mu   sync.RWMutex
+	recs map[string]Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recs: map[string]Record{}}
+}
+
+// Load implements Store.
+func (m *MemStore) Load(section string) (Record, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rec, ok := m.recs[section]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return cloneRecord(rec), true, nil
+}
+
+// Save implements Store.
+func (m *MemStore) Save(rec Record) error {
+	if rec.Section == "" {
+		return fmt.Errorf("store: record has no section name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs[rec.Section] = cloneRecord(rec)
+	return nil
+}
+
+// Sections implements Store.
+func (m *MemStore) Sections() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return sortedKeys(m.recs), nil
+}
+
+func sortedKeys(m map[string]Record) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

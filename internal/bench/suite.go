@@ -38,29 +38,31 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 
 // ShapeCheck is one qualitative assertion about an experiment's outcome.
 type ShapeCheck struct {
-	Name   string
-	OK     bool
-	Detail string
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
 }
 
 // Series is one curve of a figure.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
-// Report is the outcome of one experiment.
+// Report is the outcome of one experiment. The JSON form is what
+// `dfbench -json` writes, so downstream tooling can track the perf
+// trajectory across PRs.
 type Report struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
-	Checks []ShapeCheck
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Header []string     `json:"header,omitempty"`
+	Rows   [][]string   `json:"rows,omitempty"`
+	XLabel string       `json:"x_label,omitempty"`
+	YLabel string       `json:"y_label,omitempty"`
+	Series []Series     `json:"series,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
+	Checks []ShapeCheck `json:"checks,omitempty"`
 }
 
 // Failed returns the names of failed shape checks.

@@ -572,6 +572,58 @@ func (c *Controller) LastWinner() (int, bool) {
 	return c.lastWinner, c.lastWinnerOK
 }
 
+// LastWinnerOverhead returns the overhead the most recent production
+// winner measured when it was chosen (or the seeded value after
+// SeedHistory). It is meaningful only while LastWinner reports true.
+func (c *Controller) LastWinnerOverhead() float64 { return c.lastWinOver }
+
+// Seed is policy knowledge carried over from a previous process, used to
+// warm-start a fresh controller (see SeedHistory).
+type Seed struct {
+	// Winner is the policy that won the previous process's last
+	// production selection.
+	Winner int
+	// WinnerOverhead is the overhead the winner measured when chosen; the
+	// OrderByHistory acceptability test compares against it.
+	WinnerOverhead float64
+	// Stats optionally restores the per-policy aggregates. When non-nil it
+	// must have exactly NumPolicies entries, in policy order.
+	Stats []PolicyStats
+}
+
+// SeedHistory primes an idle controller with knowledge persisted from a
+// previous run — the §4.5 ordering optimization generalized across
+// process restarts. The seeded winner is sampled first in the first
+// round, and with OrderByHistory enabled the rest of the round is skipped
+// while the winner stays within HistoryMargin of its seeded overhead, so
+// a restarted process reaches its production phase after a single
+// sampling interval instead of one per policy. If the environment has
+// drifted and the winner's overhead degraded, the acceptability test
+// fails and the round falls back to full sampling — stale knowledge costs
+// one interval, never a wrong steady-state choice.
+func (c *Controller) SeedHistory(seed Seed) error {
+	if c.phase != Idle {
+		return fmt.Errorf("core: SeedHistory on a running controller (phase %v)", c.phase)
+	}
+	if seed.Winner < 0 || seed.Winner >= len(c.cfg.Policies) {
+		return fmt.Errorf("core: seed winner %d out of range [0,%d)", seed.Winner, len(c.cfg.Policies))
+	}
+	if o := seed.WinnerOverhead; math.IsNaN(o) || o < 0 || o > 1 {
+		return fmt.Errorf("core: seed winner overhead %v outside [0,1]", o)
+	}
+	if seed.Stats != nil {
+		if len(seed.Stats) != len(c.stats) {
+			return fmt.Errorf("core: seed has %d policy stats, controller has %d policies",
+				len(seed.Stats), len(c.stats))
+		}
+		copy(c.stats, seed.Stats)
+	}
+	c.lastWinner = seed.Winner
+	c.lastWinnerOK = true
+	c.lastWinOver = seed.WinnerOverhead
+	return nil
+}
+
 // BestKnownPolicy returns the policy the controller would choose for
 // production given everything sampled so far in the current round, falling
 // back to the historical winner and then to policy 0.

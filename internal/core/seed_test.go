@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// seedController returns an OrderByHistory controller over three policies
+// with 10ms sampling intervals.
+func seedController(t *testing.T) *Controller {
+	t.Helper()
+	return MustNewController(Config{
+		Policies:         threePolicies(),
+		TargetSampling:   Nanos(10e6),
+		TargetProduction: Nanos(100e6),
+		OrderByHistory:   true,
+	})
+}
+
+func TestSeedHistoryValidation(t *testing.T) {
+	c := seedController(t)
+	if err := c.SeedHistory(Seed{Winner: -1}); err == nil {
+		t.Error("negative winner accepted")
+	}
+	if err := c.SeedHistory(Seed{Winner: 3}); err == nil {
+		t.Error("out-of-range winner accepted")
+	}
+	if err := c.SeedHistory(Seed{Winner: 0, WinnerOverhead: -0.1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if err := c.SeedHistory(Seed{Winner: 0, WinnerOverhead: 1.5}); err == nil {
+		t.Error("overhead above 1 accepted")
+	}
+	if err := c.SeedHistory(Seed{Winner: 0, WinnerOverhead: math.NaN()}); err == nil {
+		t.Error("NaN overhead accepted")
+	}
+	if err := c.SeedHistory(Seed{Winner: 0, Stats: make([]PolicyStats, 2)}); err == nil {
+		t.Error("mis-sized stats accepted")
+	}
+	c.BeginExecution(0)
+	if err := c.SeedHistory(Seed{Winner: 0}); err == nil {
+		t.Error("seeding a running controller accepted")
+	}
+}
+
+func TestSeedHistorySkipsSampling(t *testing.T) {
+	c := seedController(t)
+	if err := c.SeedHistory(Seed{Winner: 2, WinnerOverhead: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	c.BeginExecution(0)
+	if got := c.CurrentPolicy(); got != 2 {
+		t.Fatalf("first sampled policy = %d, want seeded winner 2", got)
+	}
+	// The winner still measures close to its seeded overhead: the rest of
+	// the round must be skipped — production after a single interval.
+	c.CompletePhase(Nanos(10e6), meas(Nanos(0.1e9), 0, 1e9))
+	if c.Phase() != Production {
+		t.Fatalf("phase = %v, want production after one seeded sample", c.Phase())
+	}
+	if got := c.CurrentPolicy(); got != 2 {
+		t.Errorf("production policy = %d, want 2", got)
+	}
+	sampling := 0
+	for _, s := range c.Samples() {
+		if s.Kind == SampleSampling {
+			sampling++
+		}
+	}
+	if sampling != 1 {
+		t.Errorf("sampling intervals before production = %d, want 1", sampling)
+	}
+}
+
+func TestSeedHistoryDegradedFallsBackToFullSampling(t *testing.T) {
+	c := seedController(t)
+	if err := c.SeedHistory(Seed{Winner: 2, WinnerOverhead: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	c.BeginExecution(0)
+	// The seeded winner's environment has drifted: it now measures far
+	// above its recorded overhead, so the acceptability test fails and the
+	// remaining policies must be sampled.
+	now := Nanos(10e6)
+	c.CompletePhase(now, meas(Nanos(0.6e9), 0, 1e9)) // policy 2: degraded to 0.6
+	if c.Phase() != Sampling {
+		t.Fatalf("phase = %v, want continued sampling after degraded winner", c.Phase())
+	}
+	overheads := map[int]Nanos{0: Nanos(0.2e9), 1: Nanos(0.4e9)}
+	for c.Phase() == Sampling {
+		now += Nanos(10e6)
+		c.CompletePhase(now, meas(overheads[c.CurrentPolicy()], 0, 1e9))
+	}
+	if got := c.CurrentPolicy(); got != 0 {
+		t.Errorf("production policy = %d, want freshly-measured best 0", got)
+	}
+}
+
+func TestSeedHistoryRestoresStats(t *testing.T) {
+	c := seedController(t)
+	stats := []PolicyStats{
+		{TimesSampled: 4, TimesChosen: 0, LastOverhead: 0.5, TotalOverhead: 2.0},
+		{TimesSampled: 4, TimesChosen: 0, LastOverhead: 0.3, TotalOverhead: 1.2},
+		{TimesSampled: 4, TimesChosen: 4, LastOverhead: 0.1, TotalOverhead: 0.4},
+	}
+	if err := c.SeedHistory(Seed{Winner: 2, WinnerOverhead: 0.1, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Stats()
+	if got[2].TimesChosen != 4 || got[0].MeanOverhead() != 0.5 {
+		t.Errorf("seeded stats not restored: %+v", got)
+	}
+	if w, ok := c.LastWinner(); !ok || w != 2 {
+		t.Errorf("LastWinner = %d,%v want 2,true", w, ok)
+	}
+	if o := c.LastWinnerOverhead(); o != 0.1 {
+		t.Errorf("LastWinnerOverhead = %v, want 0.1", o)
+	}
+}

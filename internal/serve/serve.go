@@ -1,0 +1,507 @@
+// Package serve implements dfserved: a long-running HTTP server that
+// keeps named adaptive sections hot, shares what sampling has learned
+// through a persistent policy store, and exposes live per-variant
+// overhead reports.
+//
+// The server registers the bundled native workloads (see workloads.go) as
+// dynfb Sections with SpanExecutions enabled, so sampling and production
+// intervals span requests (§4.4) and the controller keeps adapting under
+// sustained traffic. When a store is configured, every section persists
+// its winner record after each run and warm-starts from a matching record
+// at boot (§4.5 generalized across restarts), so a restarted server goes
+// back to serving its best-known policies after a single sampling
+// interval per section.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness, uptime, request counters
+//	GET  /sections  the registered adaptive sections and their variants
+//	GET  /stats     live per-variant overhead/winner report per section
+//	POST /run       execute a workload: a native section ({"section":...})
+//	                or a compiled OBL program on the simulated machine
+//	                ({"app":...})
+//
+// All runs draw from a shared worker pool: at most Config.MaxConcurrent
+// workload executions are in flight at once, each using Config.Workers
+// goroutines, so a burst of submissions queues instead of oversubscribing
+// the host.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dynfb"
+	"repro/dynfb/store"
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/simmach"
+	"repro/oblc"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the worker count of each native section. Default
+	// GOMAXPROCS.
+	Workers int
+	// TargetSampling is the sections' sampling interval. Default 5ms.
+	TargetSampling time.Duration
+	// TargetProduction is the sections' production interval. Default 2s.
+	TargetProduction time.Duration
+	// Store, when non-nil, persists each section's policy record and
+	// warm-starts matching sections at boot (unless ColdStart).
+	Store store.Store
+	// ColdStart disables warm-starting from the Store.
+	ColdStart bool
+	// MaxConcurrent bounds concurrently executing workload runs across the
+	// shared pool. Default 2.
+	MaxConcurrent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetSampling <= 0 {
+		c.TargetSampling = 5 * time.Millisecond
+	}
+	if c.TargetProduction <= 0 {
+		c.TargetProduction = 2 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	return c
+}
+
+// section is one registered adaptive section.
+type section struct {
+	w   *workload
+	sec *dynfb.Section
+
+	mu    sync.Mutex // serializes Run and parameter changes
+	runs  atomic.Int64
+	iters atomic.Int64
+}
+
+// Server serves named adaptive sections and OBL workloads over HTTP.
+type Server struct {
+	cfg   Config
+	start time.Time
+	mux   *http.ServeMux
+	sem   chan struct{} // shared worker-pool slots
+
+	secs   []*section
+	byName map[string]*section
+
+	appMu    sync.Mutex
+	compiled map[string]*oblc.Compiled
+
+	requests atomic.Int64
+	runsOK   atomic.Int64
+	runsErr  atomic.Int64
+}
+
+// New builds a server with every bundled native workload registered.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		byName:   map[string]*section{},
+		compiled: map[string]*oblc.Compiled{},
+	}
+	for _, w := range nativeWorkloads() {
+		sec, err := dynfb.NewSection(dynfb.Config{
+			Name:             w.name,
+			Workers:          cfg.Workers,
+			TargetSampling:   cfg.TargetSampling,
+			TargetProduction: cfg.TargetProduction,
+			SpanExecutions:   true,
+			Store:            cfg.Store,
+			WarmStart:        cfg.Store != nil && !cfg.ColdStart,
+		}, w.variants...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: section %s: %w", w.name, err)
+		}
+		reg := &section{w: w, sec: sec}
+		s.secs = append(s.secs, reg)
+		s.byName[w.name] = reg
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /sections", s.handleSections)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close persists every section's record (best effort, first error wins).
+func (s *Server) Close() error {
+	var first error
+	for _, reg := range s.secs {
+		if err := reg.sec.Persist(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SectionNames returns the registered native section names.
+func (s *Server) SectionNames() []string {
+	names := make([]string, len(s.secs))
+	for i, reg := range s.secs {
+		names[i] = reg.w.name
+	}
+	return names
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"sections":       len(s.secs),
+		"requests":       s.requests.Load(),
+		"runs_ok":        s.runsOK.Load(),
+		"runs_err":       s.runsErr.Load(),
+	})
+}
+
+// variantJSON is one variant's aggregates in wire form.
+type variantJSON struct {
+	Name         string  `json:"name"`
+	TimesSampled int     `json:"times_sampled"`
+	TimesChosen  int     `json:"times_chosen"`
+	MeanOverhead float64 `json:"mean_overhead"`
+	LastOverhead float64 `json:"last_overhead"`
+}
+
+// snapshotJSON is a dynfb.Snapshot in wire form.
+type snapshotJSON struct {
+	Phase          string        `json:"phase"`
+	Rounds         int           `json:"rounds"`
+	Current        string        `json:"current"`
+	Winner         string        `json:"winner,omitempty"`
+	WinnerOverhead float64       `json:"winner_overhead"`
+	WarmStarted    bool          `json:"warm_started"`
+	Variants       []variantJSON `json:"variants"`
+}
+
+func toSnapshotJSON(snap dynfb.Snapshot) snapshotJSON {
+	out := snapshotJSON{
+		Phase:          snap.Phase,
+		Rounds:         snap.Rounds,
+		Current:        snap.Current,
+		Winner:         snap.Winner,
+		WinnerOverhead: snap.WinnerOverhead,
+		WarmStarted:    snap.WarmStarted,
+	}
+	for _, st := range snap.Stats {
+		out.Variants = append(out.Variants, variantJSON{
+			Name:         st.Name,
+			TimesSampled: st.TimesSampled,
+			TimesChosen:  st.TimesChosen,
+			MeanOverhead: st.MeanOverhead,
+			LastOverhead: st.LastOverhead,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleSections(w http.ResponseWriter, r *http.Request) {
+	type sectionJSON struct {
+		Name         string   `json:"name"`
+		Description  string   `json:"description"`
+		Variants     []string `json:"variants"`
+		DefaultIters int      `json:"default_iters"`
+		Runs         int64    `json:"runs"`
+		Iterations   int64    `json:"iterations"`
+		WarmStarted  bool     `json:"warm_started"`
+	}
+	out := struct {
+		Sections []sectionJSON `json:"sections"`
+		OBLApps  []string      `json:"obl_apps"`
+	}{OBLApps: apps.Names}
+	for _, reg := range s.secs {
+		var names []string
+		for _, v := range reg.w.variants {
+			names = append(names, v.Name)
+		}
+		out.Sections = append(out.Sections, sectionJSON{
+			Name:         reg.w.name,
+			Description:  reg.w.desc,
+			Variants:     names,
+			DefaultIters: reg.w.defaultIters,
+			Runs:         reg.runs.Load(),
+			Iterations:   reg.iters.Load(),
+			WarmStarted:  reg.sec.WarmStarted(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sections := map[string]snapshotJSON{}
+	for _, reg := range s.secs {
+		sections[reg.w.name] = toSnapshotJSON(reg.sec.StatsSnapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server": map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"requests":       s.requests.Load(),
+			"runs_ok":        s.runsOK.Load(),
+			"runs_err":       s.runsErr.Load(),
+			"max_concurrent": s.cfg.MaxConcurrent,
+			"store":          s.cfg.Store != nil,
+		},
+		"sections": sections,
+	})
+}
+
+// runRequest is the body of POST /run. Exactly one of Section and App
+// must be set.
+type runRequest struct {
+	// Section runs a registered native adaptive section.
+	Section string `json:"section,omitempty"`
+	// Iters overrides the section's default iteration count.
+	Iters int `json:"iters,omitempty"`
+	// App runs a bundled OBL application on the simulated machine.
+	App string `json:"app,omitempty"`
+	// Procs is the simulated processor count (OBL runs). Default 8.
+	Procs int `json:"procs,omitempty"`
+	// Policy is a static policy name, "dynamic" (default) or "serial"
+	// (OBL runs).
+	Policy string `json:"policy,omitempty"`
+	// Params are workload parameters: booleans/numbers for native
+	// sections, integer program-parameter overrides for OBL apps.
+	Params map[string]any `json:"params,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	switch {
+	case req.Section != "" && req.App != "":
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "set exactly one of \"section\" and \"app\"")
+	case req.Section != "":
+		s.runSection(w, r, req)
+	case req.App != "":
+		s.runApp(w, r, req)
+	default:
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "set \"section\" (one of %v) or \"app\" (one of %v)",
+			s.SectionNames(), apps.Names)
+	}
+}
+
+// acquireSlot takes a shared worker-pool slot, honoring cancellation.
+func (s *Server) acquireSlot(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) runSection(w http.ResponseWriter, r *http.Request, req runRequest) {
+	reg, ok := s.byName[req.Section]
+	if !ok {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusNotFound, "unknown section %q (have %v)", req.Section, s.SectionNames())
+		return
+	}
+	iters := req.Iters
+	if iters == 0 {
+		iters = reg.w.defaultIters
+	}
+	if iters < 0 || iters > 100_000_000 {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "iters %d outside [0, 1e8]", iters)
+		return
+	}
+	if !s.acquireSlot(r) {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	reg.mu.Lock()
+	for key, val := range req.Params {
+		if err := reg.w.setParam(key, val); err != nil {
+			reg.mu.Unlock()
+			s.runsErr.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	start := time.Now()
+	reg.sec.Run(0, iters)
+	wall := time.Since(start)
+	reg.mu.Unlock()
+
+	reg.runs.Add(1)
+	reg.iters.Add(int64(iters))
+	s.runsOK.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":    "section",
+		"section": req.Section,
+		"iters":   iters,
+		"wall_ns": wall.Nanoseconds(),
+		"stats":   toSnapshotJSON(reg.sec.StatsSnapshot()),
+	})
+}
+
+// compiledApp compiles a bundled application once and caches it.
+func (s *Server) compiledApp(name string) (*oblc.Compiled, error) {
+	s.appMu.Lock()
+	defer s.appMu.Unlock()
+	if c, ok := s.compiled[name]; ok {
+		return c, nil
+	}
+	c, err := apps.Compile(name)
+	if err != nil {
+		return nil, err
+	}
+	s.compiled[name] = c
+	return c, nil
+}
+
+func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) {
+	c, err := s.compiledApp(req.App)
+	if err != nil {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 8
+	}
+	if procs < 1 || procs > 64 {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "procs %d outside [1, 64]", procs)
+		return
+	}
+	policy := req.Policy
+	if policy == "" {
+		policy = interp.PolicyDynamic
+	}
+	valid := policy == interp.PolicyDynamic || policy == "serial"
+	for _, p := range oblc.Policies() {
+		valid = valid || policy == p
+	}
+	if !valid {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "unknown policy %q (want dynamic, serial, or one of %v)",
+			policy, oblc.Policies())
+		return
+	}
+	// Serve the fast test-scale inputs by default; clients override
+	// individual program parameters (integers) through params.
+	params := apps.TestParams(req.App)
+	for key, val := range req.Params {
+		f, ok := val.(float64)
+		if !ok || f != float64(int64(f)) {
+			s.runsErr.Add(1)
+			writeError(w, http.StatusBadRequest, "parameter %q wants an integer, got %v", key, val)
+			return
+		}
+		params[key] = int64(f)
+	}
+	if !s.acquireSlot(r) {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	prog := c.Parallel
+	opts := interp.Options{
+		Procs:            procs,
+		Policy:           policy,
+		TargetSampling:   simmach.Time(s.cfg.TargetSampling),
+		TargetProduction: simmach.Time(s.cfg.TargetProduction),
+		Params:           params,
+	}
+	if policy == "serial" {
+		prog = c.Serial
+		opts.Policy = ""
+		opts.Procs = 1
+	}
+	start := time.Now()
+	res, err := interp.Run(prog, opts)
+	if err != nil {
+		s.runsErr.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wall := time.Since(start)
+
+	type appSectionJSON struct {
+		Name       string   `json:"name"`
+		Iterations int64    `json:"iterations"`
+		Versions   []string `json:"versions"`
+		Chosen     string   `json:"chosen"`
+	}
+	var sections []appSectionJSON
+	for _, sec := range res.Sections {
+		chosen := ""
+		if sec.ChosenVersion >= 0 && sec.ChosenVersion < len(sec.VersionLabels) {
+			chosen = sec.VersionLabels[sec.ChosenVersion]
+		}
+		sections = append(sections, appSectionJSON{
+			Name:       sec.Name,
+			Iterations: sec.Iterations,
+			Versions:   sec.VersionLabels,
+			Chosen:     chosen,
+		})
+	}
+	sort.Slice(sections, func(i, j int) bool { return sections[i].Name < sections[j].Name })
+	s.runsOK.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":            "obl",
+		"app":             req.App,
+		"policy":          policy,
+		"procs":           procs,
+		"wall_ns":         wall.Nanoseconds(),
+		"virtual_ns":      int64(res.Time),
+		"acquires":        res.Counters.Acquires,
+		"failed_acquires": res.Counters.FailedAcquires,
+		"lock_ns":         int64(res.Counters.LockTime),
+		"wait_ns":         int64(res.Counters.WaitTime),
+		"output":          res.Output,
+		"sections":        sections,
+	})
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/dynfb/store"
+)
+
+func testServer(t *testing.T, st store.Store) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{
+		Workers:          2,
+		TargetSampling:   time.Millisecond,
+		TargetProduction: 50 * time.Millisecond,
+		Store:            st,
+		MaxConcurrent:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func postRun(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, nil)
+	var out struct {
+		Status   string  `json:"status"`
+		Uptime   float64 `json:"uptime_seconds"`
+		Sections int     `json:"sections"`
+	}
+	getJSON(t, ts.URL+"/healthz", &out)
+	if out.Status != "ok" || out.Sections != 2 {
+		t.Errorf("healthz = %+v", out)
+	}
+}
+
+func TestSectionsListing(t *testing.T) {
+	_, ts := testServer(t, nil)
+	var out struct {
+		Sections []struct {
+			Name     string   `json:"name"`
+			Variants []string `json:"variants"`
+		} `json:"sections"`
+		OBLApps []string `json:"obl_apps"`
+	}
+	getJSON(t, ts.URL+"/sections", &out)
+	if len(out.Sections) != 2 || out.Sections[0].Name != "sort" || out.Sections[1].Name != "histogram" {
+		t.Fatalf("sections = %+v", out.Sections)
+	}
+	if len(out.Sections[0].Variants) != 2 {
+		t.Errorf("sort variants = %v", out.Sections[0].Variants)
+	}
+	if len(out.OBLApps) != 3 {
+		t.Errorf("obl apps = %v", out.OBLApps)
+	}
+}
+
+// TestRunSectionAndLiveStats is the serving acceptance test: a workload
+// submission runs an adaptive section, and /stats then reports live
+// per-variant overheads and the winner.
+func TestRunSectionAndLiveStats(t *testing.T) {
+	_, ts := testServer(t, nil)
+	status, out := postRun(t, ts.URL, `{"section":"sort","iters":30000,"params":{"shuffled":false}}`)
+	if status != http.StatusOK {
+		t.Fatalf("run: status %d: %v", status, out)
+	}
+	if out["kind"] != "section" || out["iters"].(float64) != 30000 {
+		t.Errorf("run response = %v", out)
+	}
+	stats, ok := out["stats"].(map[string]any)
+	if !ok || stats["current"] == "" {
+		t.Fatalf("run response lacks stats: %v", out)
+	}
+
+	var live struct {
+		Server   map[string]any          `json:"server"`
+		Sections map[string]snapshotJSON `json:"sections"`
+	}
+	getJSON(t, ts.URL+"/stats", &live)
+	snap, ok := live.Sections["sort"]
+	if !ok {
+		t.Fatalf("no sort section in stats: %+v", live.Sections)
+	}
+	if len(snap.Variants) != 2 {
+		t.Fatalf("variants = %+v", snap.Variants)
+	}
+	sampled := 0
+	for _, v := range snap.Variants {
+		sampled += v.TimesSampled
+	}
+	if sampled < 2 {
+		t.Errorf("stats report %d sampled intervals, want at least one per variant: %+v", sampled, snap)
+	}
+	if snap.Winner == "" {
+		t.Errorf("no winner after a 30000-iteration run: %+v", snap)
+	}
+	if live.Server["runs_ok"].(float64) < 1 {
+		t.Errorf("server counters = %v", live.Server)
+	}
+}
+
+// TestServerWarmRestart restarts the server against the same store and
+// checks the sections come back warm.
+func TestServerWarmRestart(t *testing.T) {
+	st := store.NewMemStore()
+	srv, ts := testServer(t, st)
+	status, out := postRun(t, ts.URL, `{"section":"sort","iters":30000}`)
+	if status != http.StatusOK {
+		t.Fatalf("run: status %d: %v", status, out)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := st.Load("sort"); !found {
+		t.Fatal("no persisted record after run + close")
+	}
+
+	_, ts2 := testServer(t, st)
+	var live struct {
+		Sections map[string]snapshotJSON `json:"sections"`
+	}
+	getJSON(t, ts2.URL+"/stats", &live)
+	if !live.Sections["sort"].WarmStarted {
+		t.Errorf("restarted sort section not warm-started: %+v", live.Sections["sort"])
+	}
+	// The histogram section never ran, so it has no record and must have
+	// cold-started — a partial store is fine.
+	if live.Sections["histogram"].WarmStarted {
+		t.Errorf("histogram warm-started without a record: %+v", live.Sections["histogram"])
+	}
+}
+
+func TestRunOBLApp(t *testing.T) {
+	_, ts := testServer(t, nil)
+	status, out := postRun(t, ts.URL, `{"app":"string","procs":4,"policy":"original"}`)
+	if status != http.StatusOK {
+		t.Fatalf("obl run: status %d: %v", status, out)
+	}
+	if out["kind"] != "obl" || out["virtual_ns"].(float64) <= 0 {
+		t.Errorf("obl response = %v", out)
+	}
+	if out["acquires"].(float64) <= 0 {
+		t.Errorf("no lock activity reported: %v", out)
+	}
+	sections, ok := out["sections"].([]any)
+	if !ok || len(sections) == 0 {
+		t.Errorf("no per-section report: %v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, ts := testServer(t, nil)
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"section":"sort","app":"water"}`, http.StatusBadRequest},
+		{`{"section":"nope"}`, http.StatusNotFound},
+		{`{"app":"nope"}`, http.StatusNotFound},
+		{`{"section":"sort","iters":-5}`, http.StatusBadRequest},
+		{`{"section":"sort","params":{"bogus":true}}`, http.StatusBadRequest},
+		{`{"section":"sort","params":{"shuffled":"yes"}}`, http.StatusBadRequest},
+		{`{"app":"water","procs":1000}`, http.StatusBadRequest},
+		{`{"app":"water","policy":"nope"}`, http.StatusBadRequest},
+		{`{"app":"water","params":{"nmol":1.5}}`, http.StatusBadRequest},
+		{`{"unknown_field":1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, out := postRun(t, ts.URL, c.body)
+		if status != c.status {
+			t.Errorf("%s: status %d (%v), want %d", c.body, status, out, c.status)
+		}
+	}
+}

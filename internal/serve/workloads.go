@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/dynfb"
+)
+
+// A workload is one bundled native computation served as a named adaptive
+// section: several variants of the same work whose relative cost depends
+// on a workload parameter the client can flip between requests, so the
+// dynamic feedback controller has something real to adapt to under live
+// traffic.
+type workload struct {
+	name         string
+	desc         string
+	defaultIters int
+	variants     []dynfb.Variant
+	// setParam applies one request parameter before a run ("" keys never
+	// reach it). It is called with the section serialized, so plain writes
+	// to atomics are enough.
+	setParam func(key string, val any) error
+}
+
+func nativeWorkloads() []*workload {
+	return []*workload{newSortWorkload(), newHistogramWorkload()}
+}
+
+func paramBool(key string, val any) (bool, error) {
+	switch v := val.(type) {
+	case bool:
+		return v, nil
+	case float64: // JSON numbers arrive as float64
+		return v != 0, nil
+	default:
+		return false, fmt.Errorf("parameter %q wants a boolean, got %T", key, val)
+	}
+}
+
+// newSortWorkload is adaptive algorithm selection (§1 of the paper): sort
+// a stream of chunks with insertion sort (linear on nearly-sorted input,
+// quadratic on shuffled input) versus heapsort (n·log n always). The
+// "shuffled" parameter flips the input regime; wasted effort beyond ~n
+// element operations is charged as overhead.
+func newSortWorkload() *workload {
+	const chunkLen = 256
+	const nsPerStep = 3
+	var shuffled atomic.Bool
+
+	makeChunk := func(i int) []int {
+		chunk := make([]int, chunkLen)
+		for j := range chunk {
+			chunk[j] = j
+		}
+		if shuffled.Load() {
+			state := uint64(i*2654435761 + 12345)
+			for j := chunkLen - 1; j > 0; j-- {
+				state = state*6364136223846793005 + 1442695040888963407
+				k := int(state>>33) % (j + 1)
+				chunk[j], chunk[k] = chunk[k], chunk[j]
+			}
+		} else if i%8 == 0 {
+			chunk[0], chunk[1] = chunk[1], chunk[0] // nearly sorted
+		}
+		return chunk
+	}
+
+	insertion := func(a []int) int {
+		moves := 0
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+				moves++
+			}
+			a[j+1] = v
+		}
+		return moves
+	}
+	heapsort := func(a []int) int {
+		steps := 0
+		n := len(a)
+		sift := func(lo, hi int) {
+			root := lo
+			for {
+				child := 2*root + 1
+				if child >= hi {
+					return
+				}
+				if child+1 < hi && a[child] < a[child+1] {
+					child++
+				}
+				if a[root] >= a[child] {
+					return
+				}
+				a[root], a[child] = a[child], a[root]
+				root = child
+				steps++
+			}
+		}
+		for i := n/2 - 1; i >= 0; i-- {
+			sift(i, n)
+		}
+		for i := n - 1; i > 0; i-- {
+			a[0], a[i] = a[i], a[0]
+			sift(0, i)
+		}
+		return steps
+	}
+
+	mk := func(name string, sort func([]int) int) dynfb.Variant {
+		return dynfb.Variant{Name: name, Body: func(ctx *dynfb.Ctx, i int) {
+			chunk := makeChunk(i)
+			effort := sort(chunk)
+			if waste := effort - chunkLen; waste > 0 {
+				ctx.AddOverhead(time.Duration(waste*nsPerStep) * time.Nanosecond)
+			}
+		}}
+	}
+	return &workload{
+		name:         "sort",
+		desc:         "adaptive algorithm selection: insertion sort vs heapsort over a chunk stream; parameter \"shuffled\" flips the input regime",
+		defaultIters: 20000,
+		variants:     []dynfb.Variant{mk("insertion", insertion), mk("heapsort", heapsort)},
+		setParam: func(key string, val any) error {
+			if key != "shuffled" {
+				return fmt.Errorf("unknown parameter %q (sort accepts \"shuffled\")", key)
+			}
+			b, err := paramBool(key, val)
+			if err != nil {
+				return err
+			}
+			shuffled.Store(b)
+			return nil
+		},
+	}
+}
+
+// newHistogramWorkload is adaptive lock granularity (the quickstart
+// workload, served): fill a histogram under one global mutex versus one
+// mutex per bucket. The "hot" parameter skews the key distribution onto a
+// few buckets, which collapses the striped discipline's advantage.
+func newHistogramWorkload() *workload {
+	const buckets = 64
+	var hot atomic.Bool
+
+	histGlobal := make([]int, buckets)
+	histStriped := make([]int, buckets)
+	global := dynfb.NewMutex()
+	stripe := make([]*dynfb.Mutex, buckets)
+	for i := range stripe {
+		stripe[i] = dynfb.NewMutex()
+	}
+	key := func(i int) int {
+		if hot.Load() {
+			return (i * 2654435761 % buckets) % 4 // 4 hot buckets
+		}
+		return i * 2654435761 % buckets
+	}
+
+	variants := []dynfb.Variant{
+		{Name: "global-lock", Body: func(ctx *dynfb.Ctx, i int) {
+			k := key(i)
+			ctx.Lock(global)
+			histGlobal[k]++
+			ctx.Unlock(global)
+		}},
+		{Name: "per-bucket", Body: func(ctx *dynfb.Ctx, i int) {
+			k := key(i)
+			ctx.Lock(stripe[k])
+			histStriped[k]++
+			ctx.Unlock(stripe[k])
+		}},
+	}
+	return &workload{
+		name:         "histogram",
+		desc:         "adaptive lock granularity: one global mutex vs per-bucket mutexes; parameter \"hot\" skews the key distribution",
+		defaultIters: 200000,
+		variants:     variants,
+		setParam: func(key string, val any) error {
+			if key != "hot" {
+				return fmt.Errorf("unknown parameter %q (histogram accepts \"hot\")", key)
+			}
+			b, err := paramBool(key, val)
+			if err != nil {
+				return err
+			}
+			hot.Store(b)
+			return nil
+		},
+	}
+}
