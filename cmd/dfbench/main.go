@@ -1,10 +1,17 @@
 // Command dfbench regenerates the tables and figures of the paper's
 // evaluation on the simulated machine and reports the shape checks.
 //
+// Experiments run through the parallel experiment engine
+// (internal/parexec) by default: independent simulations fan out across
+// the host's cores, memoized single-flight so shared cells are simulated
+// exactly once. Every simulation is deterministic, so the rendered
+// reports are byte-identical at any parallelism (-speedup verifies this
+// on every run that uses it).
+//
 // Usage:
 //
 //	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
-//	        [-csv dir] [-json path] [-list]
+//	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
 package main
 
 import (
@@ -13,19 +20,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/parexec"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced input sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,6,8,12,16)")
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	par := flag.Int("p", 0, "max simulations in flight (default GOMAXPROCS; 1 runs serially)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows and series as CSV files into this directory")
-	jsonPath := flag.String("json", "", "also write every report (rows, series, checks) as machine-readable JSON to this path")
+	jsonPath := flag.String("json", "BENCH_suite.json", "write every report plus host wall-clock timing as JSON to this path (empty disables)")
+	speedup := flag.Bool("speedup", false, "rerun the suite serially on a cold cache, record the wall-clock speedup, and verify the reports are byte-identical")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -35,7 +46,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.SuiteConfig{Quick: *quick}
+	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par)}
 	if *procsFlag != "" {
 		for _, part := range strings.Split(*procsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -59,15 +70,14 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
-	suite := bench.NewSuite(cfg)
+
+	reports, walls, totalMS, err := runSuite(cfg, selected, cfg.Parallelism)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+		os.Exit(1)
+	}
 	failed := 0
-	var reports []*bench.Report
-	for _, e := range selected {
-		rep, err := e.Run(suite)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dfbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	for _, rep := range reports {
 		fmt.Println(rep.Format())
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, rep); err != nil {
@@ -75,11 +85,33 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		reports = append(reports, rep)
 		failed += len(rep.Failed())
 	}
+	fmt.Printf("host wall-clock: %.0f ms total (%d experiment(s), parallelism %d, %d host CPU(s))\n",
+		totalMS, len(selected), cfg.Parallelism, runtime.NumCPU())
+
+	serialMS, speedupX := 0.0, 0.0
+	if *speedup {
+		// A cold serial pass over a fresh suite: the determinism invariant
+		// requires its reports to match the parallel pass byte for byte.
+		serialReports, _, sms, err := runSuite(cfg, selected, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: serial pass: %v\n", err)
+			os.Exit(1)
+		}
+		for i, rep := range reports {
+			if rep.Format() != serialReports[i].Format() {
+				fmt.Fprintf(os.Stderr, "dfbench: DETERMINISM VIOLATION: %s differs between parallel and serial passes\n", rep.ID)
+				os.Exit(1)
+			}
+		}
+		serialMS = sms
+		speedupX = serialMS / totalMS
+		fmt.Printf("serial wall-clock: %.0f ms; parallel speedup %.2fx; reports byte-identical\n", serialMS, speedupX)
+	}
+
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, reports, failed); err != nil {
+		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,22 +122,73 @@ func main() {
 	}
 }
 
-// writeJSON stores every report plus run metadata as one JSON document,
-// the machine-readable counterpart of the text output, so benchmark
-// results can accumulate as a perf trajectory across changes.
-func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, failed int) error {
+// runSuite executes the selected experiments on a fresh suite with the
+// given parallelism, fanning experiments out across workers. Reports come
+// back in selection order with each experiment's host wall-clock; the
+// per-experiment times overlap when parallelism > 1.
+func runSuite(cfg bench.SuiteConfig, selected []bench.Experiment, parallelism int) ([]*bench.Report, []float64, float64, error) {
+	cfg.Parallelism = parallelism
+	suite := bench.NewSuite(cfg)
+	type timed struct {
+		rep  *bench.Report
+		wall float64
+	}
+	start := time.Now()
+	results, err := parexec.Map(parallelism, selected, func(_ int, e bench.Experiment) (timed, error) {
+		t0 := time.Now()
+		rep, err := e.Run(suite)
+		if err != nil {
+			return timed{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return timed{rep, float64(time.Since(t0).Microseconds()) / 1000}, nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	totalMS := float64(time.Since(start).Microseconds()) / 1000
+	reports := make([]*bench.Report, len(results))
+	walls := make([]float64, len(results))
+	for i, r := range results {
+		reports[i], walls[i] = r.rep, r.wall
+	}
+	return reports, walls, totalMS, nil
+}
+
+// writeJSON stores every report plus run metadata and host wall-clock
+// timing as one JSON document (BENCH_suite.json by default), so benchmark
+// results accumulate as a perf trajectory across changes.
+func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, walls []float64,
+	totalMS, serialMS, speedup float64, failed int) error {
+	type expJSON struct {
+		*bench.Report
+		HostWallMS float64 `json:"host_wall_ms"`
+	}
+	exps := make([]expJSON, len(reports))
+	for i, rep := range reports {
+		exps[i] = expJSON{Report: rep, HostWallMS: walls[i]}
+	}
 	doc := struct {
-		GeneratedAt  string          `json:"generated_at"`
-		Quick        bool            `json:"quick"`
-		Procs        []int           `json:"procs,omitempty"`
-		FailedChecks int             `json:"failed_checks"`
-		Experiments  []*bench.Report `json:"experiments"`
+		GeneratedAt  string    `json:"generated_at"`
+		Quick        bool      `json:"quick"`
+		Procs        []int     `json:"procs,omitempty"`
+		HostCPUs     int       `json:"host_cpus"`
+		Parallelism  int       `json:"parallelism"`
+		TotalWallMS  float64   `json:"total_wall_ms"`
+		SerialWallMS float64   `json:"serial_wall_ms,omitempty"`
+		Speedup      float64   `json:"speedup_vs_serial,omitempty"`
+		FailedChecks int       `json:"failed_checks"`
+		Experiments  []expJSON `json:"experiments"`
 	}{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Quick:        cfg.Quick,
 		Procs:        cfg.Procs,
+		HostCPUs:     runtime.NumCPU(),
+		Parallelism:  cfg.Parallelism,
+		TotalWallMS:  totalMS,
+		SerialWallMS: serialMS,
+		Speedup:      speedup,
 		FailedChecks: failed,
-		Experiments:  reports,
+		Experiments:  exps,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

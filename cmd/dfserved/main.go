@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dfserved [-addr :8080] [-store policies.json] [-workers N]
-//	         [-sampling 5ms] [-production 2s] [-max-concurrent 2] [-cold]
+//	         [-sampling 5ms] [-production 2s] [-max-concurrent N] [-cold]
 //
 // Endpoints (see docs/serve.md):
 //
@@ -38,7 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "workers per native section (default GOMAXPROCS)")
 	sampling := flag.Duration("sampling", 5*time.Millisecond, "target sampling interval")
 	production := flag.Duration("production", 2*time.Second, "target production interval")
-	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing workload runs")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing workload runs (default GOMAXPROCS)")
 	cold := flag.Bool("cold", false, "ignore stored records at boot (always cold-start)")
 	flag.Parse()
 

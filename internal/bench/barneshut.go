@@ -10,10 +10,28 @@ import (
 
 var policyRows = []string{"original", "bounded", "aggressive", interp.PolicyDynamic}
 
+// policyCells lists the four per-policy runs of an app at one processor
+// count, for prewarming.
+func policyCells(app string, procs int) []RunSpec {
+	specs := make([]RunSpec, 0, len(policyRows))
+	for _, policy := range policyRows {
+		specs = append(specs, RunSpec{App: app, Opts: interp.Options{Procs: procs, Policy: policy}})
+	}
+	return specs
+}
+
 // executionTimes gathers one application's execution times for the four
 // versions across the configured processor counts, plus the serial
-// baseline.
+// baseline. All cells are independent simulations, so they are prewarmed
+// through the parallel engine before the (cache-hit) collection loops.
 func executionTimes(s *Suite, app string) (serial simmach.Time, times map[string]map[int]simmach.Time, err error) {
+	specs := []RunSpec{{App: app, Serial: true}}
+	for _, policy := range policyRows {
+		for _, p := range s.cfg.Procs {
+			specs = append(specs, RunSpec{App: app, Opts: interp.Options{Procs: p, Policy: policy}})
+		}
+	}
+	s.Prewarm(specs)
 	sres, err := s.RunSerial(app)
 	if err != nil {
 		return 0, nil, err
@@ -111,6 +129,7 @@ func Figure4(s *Suite) (*Report, error) {
 func Table3(s *Suite) (*Report, error) {
 	r := &Report{ID: "table3", Title: "Locking Overhead for Barnes-Hut"}
 	r.Header = []string{"Version", "Acquire/Release Pairs", "Locking Overhead (s)"}
+	s.Prewarm(policyCells(apps.NameBarnesHut, 8))
 	pairs := map[string]int64{}
 	for _, policy := range policyRows {
 		res, err := s.Run(apps.NameBarnesHut, interp.Options{Procs: 8, Policy: policy})
@@ -289,7 +308,8 @@ func Table5(s *Suite) (*Report, error) {
 	}
 	sec := section(statsRes, "FORCES")
 	meanIter := sec.Busy / simmach.Time(sec.Iterations)
-	for label, m := range means {
+	for _, label := range sortedKeys(means) {
+		m := means[label]
 		r.check(fmt.Sprintf("%s interval ≥ iteration and same order of magnitude", label),
 			m >= meanIter && m < 40*meanIter,
 			"interval %v vs iteration %v", m, meanIter)
@@ -305,6 +325,16 @@ func intervalGrid(s *Suite, id, title, app, sectionName string) (*Report, [][]si
 	samplings := []simmach.Time{1 * simmach.Millisecond, 10 * simmach.Millisecond, 100 * simmach.Millisecond}
 	productions := []simmach.Time{100 * simmach.Millisecond, 500 * simmach.Millisecond,
 		1 * simmach.Second, 10 * simmach.Second}
+	var specs []RunSpec
+	for _, sm := range samplings {
+		for _, pr := range productions {
+			specs = append(specs, RunSpec{App: app, Opts: interp.Options{
+				Procs: 8, Policy: interp.PolicyDynamic,
+				TargetSampling: sm, TargetProduction: pr,
+			}})
+		}
+	}
+	s.Prewarm(specs)
 	r := &Report{ID: id, Title: title}
 	r.Header = []string{"Sampling \\ Production"}
 	for _, p := range productions {

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/parexec"
+)
+
+// renderSuite runs every experiment on a fresh suite at the given
+// parallelism — fanning experiments out across workers exactly like
+// cmd/dfbench does — and returns the concatenated rendered reports in
+// experiment order.
+func renderSuite(t *testing.T, parallelism int) string {
+	t.Helper()
+	s := NewSuite(SuiteConfig{Quick: true, Procs: []int{1, 4, 8}, Parallelism: parallelism})
+	exps := Experiments()
+	texts, err := parexec.Map(parallelism, exps, func(_ int, e Experiment) (string, error) {
+		rep, err := e.Run(s)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return rep.Format(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(texts, "\n")
+}
+
+// TestParallelSuiteByteIdentical is the determinism regression test for
+// the parallel experiment engine: the full suite rendered serially and
+// rendered with experiment- and cell-level parallelism must agree byte
+// for byte — same virtual times, overheads, and shape-check verdicts.
+func TestParallelSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice; run without -short")
+	}
+	serial := renderSuite(t, 1)
+	parallel := renderSuite(t, 8)
+	if serial == parallel {
+		return
+	}
+	sl, pl := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+	for i := 0; i < len(sl) && i < len(pl); i++ {
+		if sl[i] != pl[i] {
+			t.Fatalf("determinism violation at line %d:\n  serial:   %q\n  parallel: %q", i+1, sl[i], pl[i])
+		}
+	}
+	t.Fatalf("determinism violation: serial render has %d lines, parallel %d", len(sl), len(pl))
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/parexec"
 	"repro/internal/simmach"
 	"repro/theory"
 )
@@ -70,6 +71,7 @@ func StringSuite(s *Suite) (*Report, error) {
 	}
 	r.Notes = append(r.Notes,
 		"the paper's §6.3 text was unavailable in our source; these rows record our measurements and check only the paper-wide claims")
+	s.Prewarm(policyCells(apps.NameString, 8))
 	pairs := map[string]int64{}
 	for _, policy := range policyRows {
 		res, err := s.Run(apps.NameString, interp.Options{Procs: 8, Policy: policy})
@@ -127,6 +129,10 @@ func AblationAsyncSwitch(s *Suite) (*Report, error) {
 		}
 		return "?"
 	}
+	s.Prewarm([]RunSpec{
+		{App: apps.NameWater, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic}},
+		{App: apps.NameWater, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic, AsyncSwitch: true}},
+	})
 	sync, err := s.Run(apps.NameWater, interp.Options{Procs: 8, Policy: interp.PolicyDynamic})
 	if err != nil {
 		return nil, err
@@ -162,6 +168,10 @@ func AblationEarlyCutoff(s *Suite) (*Report, error) {
 		}
 		return n
 	}
+	s.Prewarm([]RunSpec{
+		{App: apps.NameBarnesHut, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic}},
+		{App: apps.NameBarnesHut, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic, EarlyCutoff: true, OrderByHistory: true}},
+	})
 	base, err := s.Run(apps.NameBarnesHut, interp.Options{Procs: 8, Policy: interp.PolicyDynamic})
 	if err != nil {
 		return nil, err
@@ -193,12 +203,17 @@ func AblationSpanning(s *Suite) (*Report, error) {
 	// shorter than a sampling phase.
 	params := map[string]int64{"nbodies": 192, "listlen": 16, "interwork": 20000,
 		"npasses": 12, "serialwork": 2000}
-	run := func(span bool) (*interp.Result, error) {
-		return interp.Run(c.Parallel, interp.Options{
-			Procs: 8, Policy: interp.PolicyDynamic, Params: params,
-			TargetSampling: 2 * simmach.Millisecond, TargetProduction: 40 * simmach.Millisecond,
-			SpanExecutions: span,
+	// The two modes are independent simulations: fan them out.
+	results, err := parexec.Map(s.cfg.Parallelism, []bool{false, true},
+		func(_ int, span bool) (*interp.Result, error) {
+			return interp.Run(c.Parallel, interp.Options{
+				Procs: 8, Policy: interp.PolicyDynamic, Params: params,
+				TargetSampling: 2 * simmach.Millisecond, TargetProduction: 40 * simmach.Millisecond,
+				SpanExecutions: span,
+			})
 		})
+	if err != nil {
+		return nil, err
 	}
 	r := &Report{ID: "ablation-span", Title: "Intervals Spanning Section Executions (§4.4 extension)"}
 	r.Header = []string{"Mode", "Time (s)", "ADVANCEALL sampling intervals"}
@@ -215,14 +230,7 @@ func AblationSpanning(s *Suite) (*Report, error) {
 		}
 		return n
 	}
-	base, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	span, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	base, span := results[0], results[1]
 	r.Rows = append(r.Rows,
 		[]string{"per-execution sampling", fsec(base.Time), fmt.Sprintf("%d", countSampling(base))},
 		[]string{"spanning intervals", fsec(span.Time), fmt.Sprintf("%d", countSampling(span))})
@@ -239,7 +247,29 @@ func AblationSpanning(s *Suite) (*Report, error) {
 func AblationFlagDispatch(s *Suite) (*Report, error) {
 	r := &Report{ID: "ablation-flags", Title: "Multi-Version vs Flag-Dispatch Code Generation (§4.2)"}
 	r.Header = []string{"Application", "Strategy", "Code (bytes)", "Aggressive time @8p (s)"}
+	// Two independent simulations per application (multi-version and
+	// flag-dispatch): fan all of them out, then assemble rows in order.
+	jobs := make([]func() (*interp.Result, error), 0, 2*len(apps.Names))
 	for _, name := range apps.Names {
+		c, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		params := s.Params(name)
+		jobs = append(jobs,
+			func() (*interp.Result, error) {
+				return interp.Run(c.Parallel, interp.Options{Procs: 8, Policy: "aggressive", Params: params})
+			},
+			func() (*interp.Result, error) {
+				return interp.Run(c.Flagged, interp.Options{Procs: 8, Policy: "aggressive", Params: params})
+			})
+	}
+	results, err := parexec.Map(s.cfg.Parallelism, jobs,
+		func(_ int, job func() (*interp.Result, error)) (*interp.Result, error) { return job() })
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range apps.Names {
 		c, err := s.App(name)
 		if err != nil {
 			return nil, err
@@ -251,15 +281,7 @@ func AblationFlagDispatch(s *Suite) (*Report, error) {
 		for _, f := range c.Flagged.Funcs {
 			flagBytes += f.CodeBytes()
 		}
-		params := s.Params(name)
-		multi, err := interp.Run(c.Parallel, interp.Options{Procs: 8, Policy: "aggressive", Params: params})
-		if err != nil {
-			return nil, err
-		}
-		flag, err := interp.Run(c.Flagged, interp.Options{Procs: 8, Policy: "aggressive", Params: params})
-		if err != nil {
-			return nil, err
-		}
+		multi, flag := results[2*i], results[2*i+1]
 		r.Rows = append(r.Rows,
 			[]string{name, "multi-version", fmt.Sprintf("%d", multiBytes), fsec(multi.Time)},
 			[]string{name, "flag-dispatch", fmt.Sprintf("%d", flagBytes), fsec(flag.Time)})
@@ -280,6 +302,13 @@ func AblationFlagDispatch(s *Suite) (*Report, error) {
 func AblationAutoTune(s *Suite) (*Report, error) {
 	r := &Report{ID: "ablation-autotune", Title: "Auto-Tuned Production Intervals (§5 at run time)"}
 	r.Header = []string{"Application", "Fixed (s)", "Auto-tuned (s)"}
+	var specs []RunSpec
+	for _, name := range []string{apps.NameBarnesHut, apps.NameWater} {
+		specs = append(specs,
+			RunSpec{App: name, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic}},
+			RunSpec{App: name, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic, AutoTuneProduction: true}})
+	}
+	s.Prewarm(specs)
 	for _, name := range []string{apps.NameBarnesHut, apps.NameWater} {
 		fixed, err := s.Run(name, interp.Options{Procs: 8, Policy: interp.PolicyDynamic})
 		if err != nil {
@@ -302,6 +331,10 @@ func AblationAutoTune(s *Suite) (*Report, error) {
 func AblationInstrumentation(s *Suite) (*Report, error) {
 	r := &Report{ID: "ablation-instr", Title: "Instrumentation Overhead (Barnes-Hut, 8 procs)"}
 	r.Header = []string{"Mode", "Time (s)"}
+	s.Prewarm([]RunSpec{
+		{App: apps.NameBarnesHut, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic}},
+		{App: apps.NameBarnesHut, Opts: interp.Options{Procs: 8, Policy: interp.PolicyDynamic, InstrumentationCost: 1}},
+	})
 	on, err := s.Run(apps.NameBarnesHut, interp.Options{Procs: 8, Policy: interp.PolicyDynamic})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/parexec"
 	"repro/internal/simmach"
 	"repro/oblc"
 )
@@ -27,12 +28,20 @@ type SuiteConfig struct {
 	// Procs lists the processor counts for the execution-time tables.
 	// Default is the paper's: 1, 2, 4, 6, 8, 12, 16.
 	Procs []int
+	// Parallelism bounds the simulations in flight at once when experiments
+	// prewarm their cells (see Prewarm) or run side by side. Every
+	// simulation is deterministic and memoized single-flight, so results —
+	// and therefore rendered reports — are byte-identical at any
+	// parallelism. Default runtime.GOMAXPROCS(0); 1 runs everything
+	// serially.
+	Parallelism int
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
 	if len(c.Procs) == 0 {
 		c.Procs = []int{1, 2, 4, 6, 8, 12, 16}
 	}
+	c.Parallelism = parexec.Workers(c.Parallelism)
 	return c
 }
 
@@ -141,18 +150,26 @@ func dashes(widths []int) []string {
 
 // Suite caches compiled applications and simulation runs across
 // experiments, since several tables and figures share the same executions.
+// The caches are concurrency-safe and single-flight: identical
+// configurations are simulated exactly once, and concurrent callers of the
+// same cell block on and share that one execution, so experiments may
+// prewarm cells or run side by side (cmd/dfbench does both) without
+// duplicating work or perturbing results.
 type Suite struct {
 	cfg      SuiteConfig
-	compiled map[string]*oblc.Compiled
-	runs     map[string]*interp.Result
+	compiled parexec.Group[string, *oblc.Compiled]
+	runs     parexec.Group[string, *interp.Result]
+	// sem bounds the simulations actually executing across every caller,
+	// including nested prewarms from concurrently running experiments.
+	sem chan struct{}
 }
 
 // NewSuite creates a Suite.
 func NewSuite(cfg SuiteConfig) *Suite {
+	cfg = cfg.withDefaults()
 	return &Suite{
-		cfg:      cfg.withDefaults(),
-		compiled: map[string]*oblc.Compiled{},
-		runs:     map[string]*interp.Result{},
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Parallelism),
 	}
 }
 
@@ -161,15 +178,9 @@ func (s *Suite) Config() SuiteConfig { return s.cfg }
 
 // App returns the compiled application, compiling on first use.
 func (s *Suite) App(name string) (*oblc.Compiled, error) {
-	if c, ok := s.compiled[name]; ok {
-		return c, nil
-	}
-	c, err := apps.Compile(name)
-	if err != nil {
-		return nil, err
-	}
-	s.compiled[name] = c
-	return c, nil
+	return s.compiled.Do(name, func() (*oblc.Compiled, error) {
+		return apps.Compile(name)
+	})
 }
 
 // Params returns the experiment input parameters for an application,
@@ -197,44 +208,73 @@ func (s *Suite) Params(name string) map[string]int64 {
 	return out
 }
 
-// Run executes (with memoization) an application on the simulated machine.
+// Run executes (with single-flight memoization) an application on the
+// simulated machine. It is safe for concurrent use; identical
+// configurations are simulated exactly once.
 func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
 	key := fmt.Sprintf("%s|%d|%s|%d|%d|%v%v%v%v%v|%d", name, opts.Procs, opts.Policy,
 		opts.TargetSampling, opts.TargetProduction,
 		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
 		opts.AutoTuneProduction, opts.InstrumentationCost)
-	if r, ok := s.runs[key]; ok {
+	return s.runs.Do(key, func() (*interp.Result, error) {
+		c, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.Params = s.Params(name)
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		r, err := interp.Run(c.Parallel, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s %s/%d: %w", name, opts.Policy, opts.Procs, err)
+		}
 		return r, nil
-	}
-	c, err := s.App(name)
-	if err != nil {
-		return nil, err
-	}
-	opts.Params = s.Params(name)
-	r, err := interp.Run(c.Parallel, opts)
-	if err != nil {
-		return nil, fmt.Errorf("bench: %s %s/%d: %w", name, opts.Policy, opts.Procs, err)
-	}
-	s.runs[key] = r
-	return r, nil
+	})
 }
 
 // RunSerial executes the serial baseline.
 func (s *Suite) RunSerial(name string) (*interp.Result, error) {
-	key := name + "|serial"
-	if r, ok := s.runs[key]; ok {
+	return s.runs.Do(name+"|serial", func() (*interp.Result, error) {
+		c, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		params := s.Params(name)
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		r, err := interp.Run(c.Serial, interp.Options{Params: params})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s serial: %w", name, err)
+		}
 		return r, nil
+	})
+}
+
+// RunSpec names one memoized simulation cell: the serial baseline when
+// Serial is set, otherwise a parallel-program run with Opts.
+type RunSpec struct {
+	App    string
+	Serial bool
+	Opts   interp.Options
+}
+
+// Prewarm simulates every spec with up to Parallelism simulations in
+// flight, populating the single-flight cache so that a subsequent serial
+// collection pass gets pure cache hits. Errors are not reported here: a
+// failing cell fails identically (memoized) when the experiment's own
+// Run call reaches it, preserving the serial error behaviour.
+func (s *Suite) Prewarm(specs []RunSpec) {
+	if s.cfg.Parallelism <= 1 || len(specs) <= 1 {
+		return
 	}
-	c, err := s.App(name)
-	if err != nil {
-		return nil, err
-	}
-	r, err := interp.Run(c.Serial, interp.Options{Params: s.Params(name)})
-	if err != nil {
-		return nil, fmt.Errorf("bench: %s serial: %w", name, err)
-	}
-	s.runs[key] = r
-	return r, nil
+	parexec.Map(s.cfg.Parallelism, specs, func(_ int, sp RunSpec) (struct{}, error) {
+		if sp.Serial {
+			s.RunSerial(sp.App)
+		} else {
+			s.Run(sp.App, sp.Opts)
+		}
+		return struct{}{}, nil
+	})
 }
 
 // section finds a section's stats in a result.

@@ -58,6 +58,7 @@ func Figure6(s *Suite) (*Report, error) {
 func Table8(s *Suite) (*Report, error) {
 	r := &Report{ID: "table8", Title: "Locking Overhead for Water"}
 	r.Header = []string{"Version", "Acquire/Release Pairs", "Locking Overhead (s)"}
+	s.Prewarm(policyCells(apps.NameWater, 8))
 	pairs := map[string]int64{}
 	for _, policy := range policyRows {
 		res, err := s.Run(apps.NameWater, interp.Options{Procs: 8, Policy: policy})
@@ -84,6 +85,13 @@ func Table8(s *Suite) (*Report, error) {
 func Figure7(s *Suite) (*Report, error) {
 	r := &Report{ID: "figure7", Title: "Waiting Proportion for Water",
 		XLabel: "processors", YLabel: "waiting proportion"}
+	var specs []RunSpec
+	for _, policy := range []string{"original", "bounded", "aggressive"} {
+		for _, p := range s.cfg.Procs {
+			specs = append(specs, RunSpec{App: apps.NameWater, Opts: interp.Options{Procs: p, Policy: policy}})
+		}
+	}
+	s.Prewarm(specs)
 	prop := map[string]map[int]float64{}
 	for _, policy := range []string{"original", "bounded", "aggressive"} {
 		prop[policy] = map[int]float64{}

@@ -82,7 +82,7 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			t.enterSection(p, fr, in)
 			return simmach.Ready, false
 		}
-		t.acc += simmach.Time(in.Cost())
+		t.acc += fr.costs[fr.pc]
 		t.executed++
 		fr.pc++
 		regs := fr.regs
@@ -161,23 +161,27 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 				fr.pc = int(in.Imm)
 			}
 		case ir.OpCall:
-			args := make([]Value, len(in.Args))
-			for i, r := range in.Args {
-				args[i] = regs[r]
-			}
 			if len(t.frames) > 10000 {
 				rt.fail("%s: call stack overflow", fr.fn.Name)
 			}
-			t.pushCall(int(in.Imm), args, in.Dst)
-		case ir.OpCallExtern:
-			ext := rt.prog.Externs[in.Imm]
-			fn := intrinsics[ext.Name]
-			args := make([]Value, len(in.Args))
+			// The callee window is filled straight from the caller's
+			// registers; reads from regs stay valid even if pushCall grew
+			// the arena, because growth copies the backing array.
+			callee := t.pushCall(int(in.Imm), in.Dst)
 			for i, r := range in.Args {
-				args[i] = regs[r]
+				callee[i] = regs[r]
 			}
+		case ir.OpCallExtern:
+			fn := rt.prep.extFns[in.Imm]
+			args := t.extArgs[:0]
+			for _, r := range in.Args {
+				args = append(args, regs[r])
+			}
+			t.extArgs = args[:0]
 			v, extra := fn(args)
-			t.acc += simmach.Time(ext.Cost) + extra
+			// The extern's declared cost is folded into the cost table;
+			// only the dynamically-priced extra is added here.
+			t.acc += extra
 			if in.Dst != ir.NoReg {
 				regs[in.Dst] = v
 			}
@@ -187,7 +191,7 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 				v = regs[in.A]
 			}
 			dst := fr.retDst
-			t.frames = t.frames[:len(t.frames)-1]
+			t.popFrame()
 			if len(t.frames) == t.baseFrames {
 				// End of a section body iteration or of the program.
 				t.flush(p)

@@ -23,6 +23,7 @@ package interp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/obl/ir"
@@ -163,6 +164,51 @@ type Result struct {
 // runtimeErr aborts execution through the scheduler.
 type runtimeErr struct{ msg string }
 
+// prep is the per-Program state resolved once at load time: extern
+// implementations and per-instruction virtual-cost tables. The hot loop
+// then indexes slices instead of hashing maps or re-deriving costs from
+// the opcode switch. Programs are immutable after compilation, so the
+// prepared form is cached per *ir.Program and shared by every concurrent
+// Run (the parallel experiment engine executes many runs of the same
+// program at once).
+type prep struct {
+	// extFns[i] is the implementation of Externs[i].
+	extFns []intrinsic
+	// costs[funcID][pc] is the instruction's static virtual cost; for
+	// OpCallExtern the extern's declared cost is folded in, so the runtime
+	// only adds the dynamically-priced extra.
+	costs [][]simmach.Time
+}
+
+var prepCache sync.Map // *ir.Program -> *prep
+
+// prepare resolves (with caching) a program's load-time tables.
+func prepare(p *ir.Program) *prep {
+	if v, ok := prepCache.Load(p); ok {
+		return v.(*prep)
+	}
+	pr := &prep{
+		extFns: make([]intrinsic, len(p.Externs)),
+		costs:  make([][]simmach.Time, len(p.Funcs)),
+	}
+	for i, e := range p.Externs {
+		pr.extFns[i] = intrinsics[e.Name]
+	}
+	for fi, fn := range p.Funcs {
+		costs := make([]simmach.Time, len(fn.Code))
+		for pc, in := range fn.Code {
+			c := simmach.Time(in.Cost())
+			if in.Op == ir.OpCallExtern {
+				c += simmach.Time(p.Externs[in.Imm].Cost)
+			}
+			costs[pc] = c
+		}
+		pr.costs[fi] = costs
+	}
+	v, _ := prepCache.LoadOrStore(p, pr)
+	return v.(*prep)
+}
+
 // Run executes the program.
 func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	opts = opts.withDefaults()
@@ -185,6 +231,7 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	mcfg.Procs = opts.Procs
 	rt := &runtime{
 		prog:        p,
+		prep:        prepare(p),
 		opts:        opts,
 		m:           simmach.New(mcfg),
 		controllers: map[int]*core.Controller{},
@@ -220,7 +267,7 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		}
 	}()
 	main := &task{rt: rt, isMain: true}
-	main.pushCall(p.MainID, nil, ir.NoReg)
+	main.pushCall(p.MainID, ir.NoReg)
 	rt.m.Start(0, main)
 	if err := rt.m.Run(); err != nil {
 		return nil, err
@@ -259,6 +306,7 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 
 type runtime struct {
 	prog        *ir.Program
+	prep        *prep
 	opts        Options
 	m           *simmach.Machine
 	paramVals   []int64
@@ -269,6 +317,10 @@ type runtime struct {
 	// baseFlags is the site-flag vector used outside parallel sections in
 	// flag-dispatch programs.
 	baseFlags []bool
+	// workers holds the reusable worker tasks for processors 1..Procs-1;
+	// each parallel section resets and restarts them, so frame and operand
+	// storage is allocated once per run instead of once per section.
+	workers []*task
 }
 
 func (rt *runtime) fail(format string, args ...any) {
@@ -389,10 +441,18 @@ func (sr *sectionRun) onBarrierComplete(last simmach.Time) {
 	sr.resnap()
 }
 
-// frame is one activation record.
+// frame is one activation record. Register storage lives in the owning
+// task's shared arena (task.regStack); regs is the frame's window into it,
+// re-pointed whenever the arena grows. Frames therefore allocate nothing
+// on the hot call path once the arena has warmed up.
 type frame struct {
-	fn     *ir.Func
+	fn *ir.Func
+	// costs is the function's precomputed per-instruction cost table
+	// (prep.costs[funcID]), kept here so the dispatch loop indexes it
+	// without an extra lookup.
+	costs  []simmach.Time
 	pc     int
+	base   int // offset of the register window in task.regStack
 	regs   []Value
 	retDst ir.Reg
 }
@@ -423,6 +483,11 @@ type task struct {
 	// occur in exact virtual-time order.
 	executed int
 	acc      simmach.Time // unflushed compute cost
+	// regStack is the shared register arena backing every frame's window.
+	regStack []Value
+	// extArgs is scratch storage for extern-call arguments, reused across
+	// calls (intrinsics never retain their argument slice).
+	extArgs []Value
 }
 
 func (t *task) flush(p *simmach.Proc) {
@@ -432,11 +497,65 @@ func (t *task) flush(p *simmach.Proc) {
 	}
 }
 
-func (t *task) pushCall(funcID int, args []Value, retDst ir.Reg) {
+// pushCall opens a zeroed activation record for funcID and returns its
+// register window; the caller fills in the arguments. The window lives in
+// the task's register arena, so no per-call allocation occurs once the
+// arena and frame stack have reached their high-water marks.
+func (t *task) pushCall(funcID int, retDst ir.Reg) []Value {
 	fn := t.rt.prog.Funcs[funcID]
-	regs := make([]Value, fn.NRegs)
-	copy(regs, args)
-	t.frames = append(t.frames, frame{fn: fn, regs: regs, retDst: retDst})
+	base := len(t.regStack)
+	top := base + fn.NRegs
+	if top <= cap(t.regStack) {
+		t.regStack = t.regStack[:top]
+	} else {
+		t.growRegs(top)
+	}
+	regs := t.regStack[base:top:top]
+	clear(regs)
+	t.frames = append(t.frames, frame{
+		fn: fn, costs: t.rt.prep.costs[funcID],
+		base: base, regs: regs, retDst: retDst,
+	})
+	return regs
+}
+
+// growRegs reallocates the register arena and re-points every live frame's
+// window at the new backing array.
+func (t *task) growRegs(top int) {
+	newCap := 2 * cap(t.regStack)
+	if newCap < top {
+		newCap = top
+	}
+	if newCap < 64 {
+		newCap = 64
+	}
+	grown := make([]Value, top, newCap)
+	copy(grown, t.regStack)
+	t.regStack = grown
+	for i := range t.frames {
+		f := &t.frames[i]
+		end := f.base + f.fn.NRegs
+		f.regs = t.regStack[f.base:end:end]
+	}
+}
+
+// popFrame closes the top activation record, releasing its arena window.
+func (t *task) popFrame() {
+	fr := &t.frames[len(t.frames)-1]
+	t.regStack = t.regStack[:fr.base]
+	t.frames = t.frames[:len(t.frames)-1]
+}
+
+// reset prepares a pooled worker task for a new section run, keeping the
+// frame stack and register arena storage.
+func (t *task) reset(sr *sectionRun) {
+	t.sr = sr
+	t.frames = t.frames[:0]
+	t.regStack = t.regStack[:0]
+	t.flags = nil
+	t.baseFrames = 0
+	t.wphase = wClaim
+	t.executed = 0
 }
 
 // Step implements simmach.Process.
@@ -500,10 +619,9 @@ func (t *task) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
 		}
 		v := sr.sec.Versions[sr.versionIdx]
 		t.flags = v.Flags
-		args := make([]Value, 0, len(sr.args)+1)
-		args = append(args, sr.args...)
-		args = append(args, IntVal(iter))
-		t.pushCall(v.FuncID, args, ir.NoReg)
+		regs := t.pushCall(v.FuncID, ir.NoReg)
+		n := copy(regs, sr.args)
+		regs[n] = IntVal(iter)
 		t.wphase = wBody
 		t.executed++
 		return 0, true
@@ -568,9 +686,18 @@ func (t *task) enterSection(p *simmach.Proc, fr *frame, in ir.Instr) {
 	}
 	sr.stats.ChosenVersion = sr.versionIdx
 	rt.barrier.OnComplete = sr.onBarrierComplete
+	if rt.workers == nil {
+		rt.workers = make([]*task, rt.opts.Procs)
+	}
 	for i := 1; i < rt.opts.Procs; i++ {
+		w := rt.workers[i]
+		if w == nil {
+			w = &task{rt: rt}
+			rt.workers[i] = w
+		}
+		w.reset(sr)
 		rt.m.SetClock(i, p.Now())
-		rt.m.Start(i, &task{rt: rt, sr: sr, wphase: wClaim})
+		rt.m.Start(i, w)
 	}
 	for i := range sr.secSnap {
 		sr.secSnap[i] = rt.m.Proc(i).Counters

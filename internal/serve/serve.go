@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,7 +60,9 @@ type Config struct {
 	// ColdStart disables warm-starting from the Store.
 	ColdStart bool
 	// MaxConcurrent bounds concurrently executing workload runs across the
-	// shared pool. Default 2.
+	// shared pool. Default runtime.GOMAXPROCS(0), so the pool scales with
+	// the host: every simulated run is independent and deterministic, and
+	// a run's result does not depend on what executes alongside it.
 	MaxConcurrent int
 }
 
@@ -71,7 +74,7 @@ func (c Config) withDefaults() Config {
 		c.TargetProduction = 2 * time.Second
 	}
 	if c.MaxConcurrent <= 0 {
-		c.MaxConcurrent = 2
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
