@@ -8,10 +8,17 @@
 // reports are byte-identical at any parallelism (-speedup verifies this
 // on every run that uses it).
 //
+// The content-addressed simulation cache (internal/simcache) persists
+// results across processes: -cache DIR makes every simulation consult and
+// populate DIR, -cache-verify re-simulates each hit and byte-compares it
+// against the cached record, and -cache-timing runs a second, warm pass
+// against the populated cache and records the cold/warm speedup.
+//
 // Usage:
 //
 //	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
 //	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
+//	        [-cache dir] [-cache-mem N] [-cache-verify] [-cache-timing]
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/parexec"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -38,6 +46,10 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_suite.json", "write every report plus host wall-clock timing as JSON to this path (empty disables)")
 	speedup := flag.Bool("speedup", false, "rerun the suite serially on a cold cache, record the wall-clock speedup, and verify the reports are byte-identical")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	cacheDir := flag.String("cache", "", "content-addressed simulation cache directory (persists results across runs)")
+	cacheMem := flag.Int("cache-mem", 0, "in-memory cache capacity in entries (default 1024; negative disables the memory tier)")
+	cacheVerify := flag.Bool("cache-verify", false, "re-simulate every cache hit and byte-compare it against the cached record; implies a warm verification pass")
+	cacheTiming := flag.Bool("cache-timing", false, "rerun the suite warm against the populated cache and record the cold/warm speedup")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +59,18 @@ func main() {
 		return
 	}
 	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par)}
+	var cache *simcache.Cache
+	if *cacheDir != "" || *cacheVerify || *cacheTiming {
+		// Verify and timing passes work against a memory-only cache when no
+		// directory is given; -cache DIR persists entries across processes.
+		c, err := simcache.New(simcache.Config{Dir: *cacheDir, MemEntries: *cacheMem})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: %v\n", err)
+			os.Exit(1)
+		}
+		cache = c
+		cfg.Cache = cache
+	}
 	if *procsFlag != "" {
 		for _, part := range strings.Split(*procsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -90,11 +114,52 @@ func main() {
 	fmt.Printf("host wall-clock: %.0f ms total (%d experiment(s), parallelism %d, %d host CPU(s))\n",
 		totalMS, len(selected), cfg.Parallelism, runtime.NumCPU())
 
+	var cacheInfo *cacheJSON
+	if cache != nil {
+		cacheInfo = &cacheJSON{Dir: cache.Dir(), ColdWallMS: totalMS, Verified: *cacheVerify}
+		if *cacheVerify || *cacheTiming {
+			// A warm pass over the now-populated cache: every cell hits, so
+			// this measures pure cache service time — and with -cache-verify
+			// each hit is re-simulated and byte-compared inside the suite.
+			wcfg := cfg
+			wcfg.CacheVerify = *cacheVerify
+			warmReports, _, warmMS, err := runSuite(wcfg, selected, cfg.Parallelism)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: warm pass: %v\n", err)
+				os.Exit(1)
+			}
+			for i, rep := range reports {
+				if rep.Format() != warmReports[i].Format() {
+					fmt.Fprintf(os.Stderr, "dfbench: CACHE VIOLATION: %s differs between cold and warm passes\n", rep.ID)
+					os.Exit(1)
+				}
+			}
+			cacheInfo.WarmWallMS = warmMS
+			if !*cacheVerify && warmMS > 0 {
+				// Verification re-simulates every hit, so its wall-clock
+				// says nothing about cache service time.
+				cacheInfo.SpeedupVsCold = totalMS / warmMS
+				fmt.Printf("warm cache wall-clock: %.0f ms; %.2fx vs cold pass; reports byte-identical\n",
+					warmMS, cacheInfo.SpeedupVsCold)
+			} else {
+				fmt.Printf("cache verify: every hit re-simulated and byte-identical (%.0f ms); reports byte-identical\n", warmMS)
+			}
+		}
+		cacheInfo.Stats = cache.Stats()
+		fmt.Printf("cache: %d mem hit(s), %d disk hit(s), %d miss(es), %d put(s), %d error(s)\n",
+			cacheInfo.Stats.MemHits, cacheInfo.Stats.DiskHits, cacheInfo.Stats.Misses,
+			cacheInfo.Stats.Puts, cacheInfo.Stats.Errors)
+	}
+
 	serialMS, speedupX := 0.0, 0.0
 	if *speedup {
-		// A cold serial pass over a fresh suite: the determinism invariant
-		// requires its reports to match the parallel pass byte for byte.
-		serialReports, _, sms, err := runSuite(cfg, selected, 1)
+		// A cold serial pass over a fresh suite — with the simulation cache
+		// detached, so every cell genuinely re-simulates: the determinism
+		// invariant requires its reports to match the parallel pass byte
+		// for byte.
+		scfg := cfg
+		scfg.Cache, scfg.CacheVerify = nil, false
+		serialReports, _, sms, err := runSuite(scfg, selected, 1)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: serial pass: %v\n", err)
 			os.Exit(1)
@@ -111,7 +176,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed); err != nil {
+		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,11 +219,23 @@ func runSuite(cfg bench.SuiteConfig, selected []bench.Experiment, parallelism in
 	return reports, walls, totalMS, nil
 }
 
+// cacheJSON records one run's interaction with the simulation cache: the
+// cold (first-pass) and warm (second-pass) wall-clocks, whether hits were
+// byte-verified against fresh simulations, and the traffic counters.
+type cacheJSON struct {
+	Dir           string         `json:"dir,omitempty"`
+	ColdWallMS    float64        `json:"cold_wall_ms"`
+	WarmWallMS    float64        `json:"warm_wall_ms,omitempty"`
+	SpeedupVsCold float64        `json:"speedup_vs_cold,omitempty"`
+	Verified      bool           `json:"verified"`
+	Stats         simcache.Stats `json:"stats"`
+}
+
 // writeJSON stores every report plus run metadata and host wall-clock
 // timing as one JSON document (BENCH_suite.json by default), so benchmark
 // results accumulate as a perf trajectory across changes.
 func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, walls []float64,
-	totalMS, serialMS, speedup float64, failed int) error {
+	totalMS, serialMS, speedup float64, failed int, cacheInfo *cacheJSON) error {
 	type expJSON struct {
 		*bench.Report
 		HostWallMS float64 `json:"host_wall_ms"`
@@ -174,10 +251,11 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		HostCPUs     int       `json:"host_cpus"`
 		Parallelism  int       `json:"parallelism"`
 		TotalWallMS  float64   `json:"total_wall_ms"`
-		SerialWallMS float64   `json:"serial_wall_ms,omitempty"`
-		Speedup      float64   `json:"speedup_vs_serial,omitempty"`
-		FailedChecks int       `json:"failed_checks"`
-		Experiments  []expJSON `json:"experiments"`
+		SerialWallMS float64    `json:"serial_wall_ms,omitempty"`
+		Speedup      float64    `json:"speedup_vs_serial,omitempty"`
+		Cache        *cacheJSON `json:"cache,omitempty"`
+		FailedChecks int        `json:"failed_checks"`
+		Experiments  []expJSON  `json:"experiments"`
 	}{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Quick:        cfg.Quick,
@@ -187,6 +265,7 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		TotalWallMS:  totalMS,
 		SerialWallMS: serialMS,
 		Speedup:      speedup,
+		Cache:        cacheInfo,
 		FailedChecks: failed,
 		Experiments:  exps,
 	}

@@ -8,6 +8,7 @@
 //
 //	dfserved [-addr :8080] [-store policies.json] [-workers N]
 //	         [-sampling 5ms] [-production 2s] [-max-concurrent N] [-cold]
+//	         [-simcache dir]
 //
 // Endpoints (see docs/serve.md):
 //
@@ -30,6 +31,7 @@ import (
 
 	"repro/dynfb/store"
 	"repro/internal/serve"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	production := flag.Duration("production", 2*time.Second, "target production interval")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing workload runs (default GOMAXPROCS)")
 	cold := flag.Bool("cold", false, "ignore stored records at boot (always cold-start)")
+	simcacheDir := flag.String("simcache", "", "content-addressed simulation cache directory for OBL runs (empty disables)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -58,6 +61,13 @@ func main() {
 			log.Printf("dfserved: %s", warn)
 		}
 		cfg.Store = fs
+	}
+	if *simcacheDir != "" {
+		c, err := simcache.New(simcache.Config{Dir: *simcacheDir})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = c
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

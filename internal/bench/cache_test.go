@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/simcache"
+)
+
+// TestCacheColdWarmParallelByteIdentical is the determinism regression
+// test for the content-addressed simulation cache: the full quick suite
+// rendered cold (populating the cache), warm serially (pure hits), and
+// warm with experiment- and cell-level parallelism must agree byte for
+// byte — and all three must match the committed golden, so cached replay
+// and the live engine pin the same simulated science.
+func TestCacheColdWarmParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick suite; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("quick-suite renders are an order of magnitude slower under the race detector")
+	}
+	cache, err := simcache.New(simcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SuiteConfig{Quick: true, Procs: []int{1, 4, 8}, Cache: cache}
+
+	cfg := base
+	cfg.Parallelism = 1
+	cold := renderSuiteCfg(t, cfg)
+	afterCold := cache.Stats()
+	if afterCold.Puts == 0 || afterCold.Misses == 0 {
+		t.Fatalf("cold pass did not populate the cache: %+v", afterCold)
+	}
+
+	warm := renderSuiteCfg(t, cfg)
+	diffLines(t, cold, warm, "cold", "warm serial")
+	afterWarm := cache.Stats()
+	if afterWarm.Hits() == 0 {
+		t.Fatalf("warm pass did not hit the cache: %+v", afterWarm)
+	}
+	if afterWarm.Misses != afterCold.Misses {
+		t.Errorf("warm pass missed: %d misses cold, %d after warm", afterCold.Misses, afterWarm.Misses)
+	}
+
+	cfg8 := base
+	cfg8.Parallelism = 8
+	warm8 := renderSuiteCfg(t, cfg8)
+	diffLines(t, cold, warm8, "cold", "warm parallel-8")
+
+	if golden, err := os.ReadFile(goldenPath); err == nil {
+		diffLines(t, string(golden), cold, "golden", "cold cached suite")
+	}
+}
+
+// cellKey reproduces the cache key Suite.Run derives for one simulation
+// cell, so tests can poison or inspect the cache from outside.
+func cellKey(t *testing.T, s *Suite, name string, opts interp.Options) string {
+	t.Helper()
+	c, err := s.App(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Params = s.Params(name)
+	key, ok := interp.CacheKey(c.Parallel, opts)
+	if !ok {
+		t.Fatal("cell unexpectedly not cacheable")
+	}
+	return key
+}
+
+// TestCacheVerifyPassesOnHonestCache exercises the verify path on one
+// cell: a second suite sharing the cache re-simulates the hit,
+// byte-compares it against the cached record, and succeeds.
+func TestCacheVerifyPassesOnHonestCache(t *testing.T) {
+	cache, err := simcache.New(simcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := interp.Options{Procs: 2, Policy: "original"}
+
+	s1 := NewSuite(SuiteConfig{Quick: true, Parallelism: 1, Cache: cache})
+	res1, err := s1.Run(apps.NameBarnesHut, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSuite(SuiteConfig{Quick: true, Parallelism: 1, Cache: cache, CacheVerify: true})
+	res2, err := s2.Run(apps.NameBarnesHut, opts)
+	if err != nil {
+		t.Fatalf("verify rejected an honest cache: %v", err)
+	}
+	if res2 != res1 {
+		t.Error("verified hit did not return the cached record")
+	}
+	if st := cache.Stats(); st.MemHits != 1 {
+		t.Errorf("stats = %+v, want exactly one hit", st)
+	}
+}
+
+// TestCacheVerifyDetectsPoisonedEntry poisons the cache under the true
+// content address and checks that the verify pass refuses to serve it.
+func TestCacheVerifyDetectsPoisonedEntry(t *testing.T) {
+	cache, err := simcache.New(simcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := interp.Options{Procs: 2, Policy: "original"}
+
+	s := NewSuite(SuiteConfig{Quick: true, Parallelism: 1, Cache: cache, CacheVerify: true})
+	poisoned := &interp.Result{Time: 12345, Steps: 1, Output: []string{"wrong"}}
+	cache.Put(cellKey(t, s, apps.NameBarnesHut, opts), poisoned)
+
+	if _, err := s.Run(apps.NameBarnesHut, opts); err == nil {
+		t.Fatal("verify served a poisoned cache entry")
+	} else if !strings.Contains(err.Error(), "differs from fresh simulation") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

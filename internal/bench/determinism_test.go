@@ -14,9 +14,16 @@ import (
 // experiment order.
 func renderSuite(t *testing.T, parallelism int) string {
 	t.Helper()
-	s := NewSuite(SuiteConfig{Quick: true, Procs: []int{1, 4, 8}, Parallelism: parallelism})
+	return renderSuiteCfg(t, SuiteConfig{Quick: true, Procs: []int{1, 4, 8}, Parallelism: parallelism})
+}
+
+// renderSuiteCfg is renderSuite with full control of the suite
+// configuration (the cache determinism tests attach a shared simcache).
+func renderSuiteCfg(t *testing.T, cfg SuiteConfig) string {
+	t.Helper()
+	s := NewSuite(cfg)
 	exps := Experiments()
-	texts, err := parexec.Map(parallelism, exps, func(_ int, e Experiment) (string, error) {
+	texts, err := parexec.Map(s.Config().Parallelism, exps, func(_ int, e Experiment) (string, error) {
 		rep, err := e.Run(s)
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", e.ID, err)

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenPath is the committed render of the full quick suite. It was
+// captured from the pre-rewrite event engine (container/heap scheduler,
+// O(n) lock handoff and barrier scans), so it pins the simulated science
+// across engine rewrites: any change to virtual times, counters, policy
+// decisions, or shape-check verdicts shows up as a byte diff.
+const goldenPath = "testdata/quick_suite.golden"
+
+// TestQuickSuiteMatchesGolden renders the full quick suite serially and
+// compares it byte for byte against the committed golden. Regenerate
+// (only when an intentional science change is reviewed) with:
+//
+//	BENCH_REGEN_GOLDEN=1 go test ./internal/bench -run TestQuickSuiteMatchesGolden
+func TestQuickSuiteMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick suite; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("quick-suite render is an order of magnitude slower under the race detector")
+	}
+	got := renderSuite(t, 1)
+	if os.Getenv("BENCH_REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with BENCH_REGEN_GOLDEN=1): %v", err)
+	}
+	diffLines(t, string(want), got, "golden", "current engine")
+}
+
+// diffLines fails with the first differing line of two suite renders.
+func diffLines(t *testing.T, want, got, wantName, gotName string) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			t.Fatalf("render mismatch at line %d:\n  %s: %q\n  %s: %q", i+1, wantName, wl[i], gotName, gl[i])
+		}
+	}
+	t.Fatalf("render mismatch: %s has %d lines, %s %d", wantName, len(wl), gotName, len(gl))
+}

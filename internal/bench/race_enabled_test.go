@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which slows full quick-suite renders by an order of
+// magnitude. The render-heavy golden and cache regressions skip under
+// race; TestParallelSuiteByteIdentical still renders concurrently, so
+// the suite's sharing discipline keeps race coverage.
+const raceEnabled = true

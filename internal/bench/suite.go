@@ -10,13 +10,16 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/obl/ir"
 	"repro/internal/parexec"
+	"repro/internal/simcache"
 	"repro/internal/simmach"
 	"repro/oblc"
 )
@@ -35,6 +38,16 @@ type SuiteConfig struct {
 	// parallelism. Default runtime.GOMAXPROCS(0); 1 runs everything
 	// serially.
 	Parallelism int
+	// Cache, when non-nil, is consulted before every simulation and
+	// populated after: results are addressed by interp.CacheKey, so a hit
+	// is the exact record a fresh simulation would produce and the
+	// rendered reports are byte-identical with or without the cache.
+	Cache *simcache.Cache
+	// CacheVerify re-simulates every cache hit and byte-compares the
+	// fresh result against the cached record (dfbench -cache-verify),
+	// turning the determinism claim into a checked invariant. A mismatch
+	// is an error, not a silent fallback.
+	CacheVerify bool
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -222,13 +235,7 @@ func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
 			return nil, err
 		}
 		opts.Params = s.Params(name)
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		r, err := interp.Run(c.Parallel, opts)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s %s/%d: %w", name, opts.Policy, opts.Procs, err)
-		}
-		return r, nil
+		return s.simulate(c.Parallel, opts, fmt.Sprintf("%s %s/%d", name, opts.Policy, opts.Procs))
 	})
 }
 
@@ -239,15 +246,61 @@ func (s *Suite) RunSerial(name string) (*interp.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		params := s.Params(name)
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		r, err := interp.Run(c.Serial, interp.Options{Params: params})
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s serial: %w", name, err)
-		}
-		return r, nil
+		return s.simulate(c.Serial, interp.Options{Params: s.Params(name)}, name+" serial")
 	})
+}
+
+// simulate resolves one simulation cell: through the content-addressed
+// cache when one is configured (verifying hits when CacheVerify is set),
+// otherwise by simulating under the suite-wide in-flight bound.
+func (s *Suite) simulate(prog *ir.Program, opts interp.Options, desc string) (*interp.Result, error) {
+	cache := s.cfg.Cache
+	key := ""
+	if cache != nil {
+		if k, ok := interp.CacheKey(prog, opts); ok {
+			key = k
+			if res, hit := cache.Get(key); hit {
+				if !s.cfg.CacheVerify {
+					return res, nil
+				}
+				fresh, err := s.execute(prog, opts, desc)
+				if err != nil {
+					return nil, err
+				}
+				cached, err := simcache.EncodeResult(res)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", desc, err)
+				}
+				want, err := simcache.EncodeResult(fresh)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", desc, err)
+				}
+				if !bytes.Equal(cached, want) {
+					return nil, fmt.Errorf("bench: %s: cached result differs from fresh simulation (key %s)", desc, key)
+				}
+				return res, nil
+			}
+		}
+	}
+	res, err := s.execute(prog, opts, desc)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		cache.Put(key, res)
+	}
+	return res, nil
+}
+
+// execute simulates with up to Parallelism simulations in flight.
+func (s *Suite) execute(prog *ir.Program, opts interp.Options, desc string) (*interp.Result, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	r, err := interp.Run(prog, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", desc, err)
+	}
+	return r, nil
 }
 
 // RunSpec names one memoized simulation cell: the serial baseline when

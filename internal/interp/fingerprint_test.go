@@ -1,0 +1,112 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/simmach"
+	"repro/oblc"
+)
+
+const fpSrc = `
+func main() {
+  let s: int = 0;
+  for i in 0..100 { s = s + i; }
+  print s;
+}
+`
+
+const fpSrcOther = `
+func main() {
+  let s: int = 0;
+  for i in 0..101 { s = s + i; }
+  print s;
+}
+`
+
+func TestFingerprintStableAcrossCompiles(t *testing.T) {
+	a, err := oblc.Compile(fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := oblc.Compile(fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serial == b.Serial {
+		t.Fatal("expected distinct program pointers")
+	}
+	fa, fb := Fingerprint(a.Serial), Fingerprint(b.Serial)
+	if fa != fb {
+		t.Errorf("identical source produced different fingerprints:\n%s\n%s", fa, fb)
+	}
+	if len(fa) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex chars", len(fa))
+	}
+	// Memoized per program pointer.
+	if again := Fingerprint(a.Serial); again != fa {
+		t.Errorf("fingerprint not stable on recompute: %s vs %s", again, fa)
+	}
+}
+
+func TestFingerprintDistinguishesPrograms(t *testing.T) {
+	a, err := oblc.Compile(fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := oblc.Compile(fpSrcOther)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a.Serial) == Fingerprint(b.Serial) {
+		t.Error("different programs share a fingerprint")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	c, err := oblc.Compile(fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Procs: 4, Policy: "dynamic"}
+	k0, ok := CacheKey(c.Serial, base)
+	if !ok {
+		t.Fatal("CacheKey not ok for plain options")
+	}
+	// Identical options give the identical key.
+	if k1, _ := CacheKey(c.Serial, base); k1 != k0 {
+		t.Errorf("same options produced different keys")
+	}
+	// Defaulted and explicit forms of the same run share a key.
+	explicit := base
+	explicit.TargetSampling = 10 * 1e6 // the default 10ms
+	if k1, _ := CacheKey(c.Serial, explicit); k1 != k0 {
+		t.Errorf("defaulted and explicit equivalent options differ")
+	}
+	// Every semantically meaningful change must move the key.
+	variants := []Options{
+		{Procs: 8, Policy: "dynamic"},
+		{Procs: 4, Policy: "original"},
+		{Procs: 4, Policy: "dynamic", TargetSampling: 20 * 1e6},
+		{Procs: 4, Policy: "dynamic", EarlyCutoff: true},
+		{Procs: 4, Policy: "dynamic", AsyncSwitch: true},
+		{Procs: 4, Policy: "dynamic", Params: map[string]int64{"n": 7}},
+		{Procs: 4, Policy: "dynamic", InstrumentationCost: 40},
+	}
+	seen := map[string]int{k0: -1}
+	for i, v := range variants {
+		k, ok := CacheKey(c.Serial, v)
+		if !ok {
+			t.Fatalf("variant %d not cacheable", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with variant %d", i, prev)
+		}
+		seen[k] = i
+	}
+	// Traced runs are not cacheable.
+	traced := base
+	traced.Trace = func(simmach.TraceEvent) {}
+	if _, ok := CacheKey(c.Serial, traced); ok {
+		t.Error("traced run reported cacheable")
+	}
+}

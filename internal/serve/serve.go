@@ -41,6 +41,7 @@ import (
 	"repro/dynfb/store"
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/simcache"
 	"repro/internal/simmach"
 	"repro/oblc"
 )
@@ -64,6 +65,10 @@ type Config struct {
 	// the host: every simulated run is independent and deterministic, and
 	// a run's result does not depend on what executes alongside it.
 	MaxConcurrent int
+	// Cache, when non-nil, serves repeated OBL simulation requests from
+	// the content-addressed simulation cache instead of re-simulating;
+	// /run responses carry a "cached" flag and /stats reports the traffic.
+	Cache *simcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -271,7 +276,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, reg := range s.secs {
 		sections[reg.w.name] = toSnapshotJSON(reg.sec.StatsSnapshot())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"server": map[string]any{
 			"uptime_seconds": time.Since(s.start).Seconds(),
 			"requests":       s.requests.Load(),
@@ -281,7 +286,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"store":          s.cfg.Store != nil,
 		},
 		"sections": sections,
-	})
+	}
+	if s.cfg.Cache != nil {
+		doc["simcache"] = s.cfg.Cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // runRequest is the body of POST /run. Exactly one of Section and App
@@ -464,11 +473,25 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		opts.Procs = 1
 	}
 	start := time.Now()
-	res, err := interp.Run(prog, opts)
-	if err != nil {
-		s.runsErr.Add(1)
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+	var res *interp.Result
+	cached := false
+	key := ""
+	if s.cfg.Cache != nil {
+		if k, ok := interp.CacheKey(prog, opts); ok {
+			key = k
+			res, cached = s.cfg.Cache.Get(key)
+		}
+	}
+	if !cached {
+		res, err = interp.Run(prog, opts)
+		if err != nil {
+			s.runsErr.Add(1)
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if key != "" {
+			s.cfg.Cache.Put(key, res)
+		}
 	}
 	wall := time.Since(start)
 
@@ -498,6 +521,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		"app":             req.App,
 		"policy":          policy,
 		"procs":           procs,
+		"cached":          cached,
 		"wall_ns":         wall.Nanoseconds(),
 		"virtual_ns":      int64(res.Time),
 		"acquires":        res.Counters.Acquires,

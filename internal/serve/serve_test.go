@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/dynfb/store"
+	"repro/internal/simcache"
 )
 
 func testServer(t *testing.T, st store.Store) (*Server, *httptest.Server) {
@@ -181,6 +182,62 @@ func TestRunOBLApp(t *testing.T) {
 	sections, ok := out["sections"].([]any)
 	if !ok || len(sections) == 0 {
 		t.Errorf("no per-section report: %v", out)
+	}
+}
+
+func TestRunOBLAppCached(t *testing.T) {
+	cache, err := simcache.New(simcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Workers:          2,
+		TargetSampling:   time.Millisecond,
+		TargetProduction: 50 * time.Millisecond,
+		MaxConcurrent:    2,
+		Cache:            cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"app":"string","procs":4,"policy":"original"}`
+	status, cold := postRun(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("cold run: status %d: %v", status, cold)
+	}
+	if cold["cached"] != false {
+		t.Errorf("first run reported cached: %v", cold["cached"])
+	}
+	status, warm := postRun(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("warm run: status %d: %v", status, warm)
+	}
+	if warm["cached"] != true {
+		t.Errorf("repeat run not served from cache: %v", warm["cached"])
+	}
+	// Identical simulated outcome either way.
+	for _, k := range []string{"virtual_ns", "acquires", "lock_ns", "wait_ns"} {
+		if cold[k] != warm[k] {
+			t.Errorf("%s differs: cold %v, warm %v", k, cold[k], warm[k])
+		}
+	}
+	// A different configuration is a different content address.
+	status, other := postRun(t, ts.URL, `{"app":"string","procs":2,"policy":"original"}`)
+	if status != http.StatusOK {
+		t.Fatalf("other run: status %d: %v", status, other)
+	}
+	if other["cached"] != false {
+		t.Error("different procs count served from cache")
+	}
+	var stats struct {
+		Simcache *simcache.Stats `json:"simcache"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Simcache == nil || stats.Simcache.Hits() != 1 || stats.Simcache.Puts != 2 {
+		t.Errorf("/stats simcache = %+v, want 1 hit and 2 puts", stats.Simcache)
 	}
 }
 

@@ -1,0 +1,280 @@
+// Package simcache is a content-addressed cache of simulation outcomes.
+//
+// Every quantity the reproduction measures is a deterministic function of
+// (compiled program, parameters, machine cost model, dynamic-feedback
+// configuration): the same cell simulated twice produces bit-identical
+// results. The cache exploits that determinism to make re-simulation
+// unnecessary: results are addressed by interp.CacheKey — a SHA-256 over
+// the program fingerprint and every option that can influence the outcome
+// — so a hit is guaranteed to be the exact record a fresh simulation
+// would produce (and `dfbench -cache-verify` re-simulates hits and
+// byte-compares to prove it).
+//
+// Two tiers:
+//
+//   - An in-memory LRU holds decoded *interp.Result records for the hot
+//     working set (a full dfbench suite is a few hundred cells).
+//   - An optional on-disk tier persists one JSON file per key, written
+//     through a temporary sibling and an atomic rename (the dynfb/store
+//     discipline), so concurrent writers and crashes mid-write leave
+//     either the old or the new file, never a torn one. Corrupt,
+//     truncated, or schema-skewed files are treated as misses — cached
+//     knowledge is always re-learnable by simulating.
+//
+// Results returned by Get are shared; callers must treat them as
+// immutable (the bench and serve integrations only read them, exactly as
+// they already share results through single-flight memoization).
+package simcache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/interp"
+)
+
+// SchemaVersion is the on-disk entry schema. Bump it when the Result
+// record shape changes incompatibly; old files then read as misses.
+const SchemaVersion = 1
+
+// DefaultMemEntries is the in-memory tier's default capacity.
+const DefaultMemEntries = 1024
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Dir is the on-disk tier's directory; "" disables the disk tier.
+	// The directory is created if missing.
+	Dir string
+	// MemEntries is the in-memory LRU capacity. 0 means
+	// DefaultMemEntries; negative disables the memory tier.
+	MemEntries int
+}
+
+// Stats counts cache traffic. Hits = MemHits + DiskHits.
+type Stats struct {
+	MemHits  int64 `json:"mem_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	Misses   int64 `json:"misses"`
+	Puts     int64 `json:"puts"`
+	// Errors counts tolerated disk-tier failures (corrupt entries,
+	// unwritable files); each also reads as a miss or a dropped put.
+	Errors int64 `json:"errors"`
+}
+
+// Hits returns total hits across tiers.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
+
+// Cache is a two-tier content-addressed result cache. It is safe for
+// concurrent use.
+type Cache struct {
+	dir    string
+	memCap int
+
+	mu    sync.Mutex
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used
+	stats Stats
+}
+
+type memEntry struct {
+	key string
+	res *interp.Result
+}
+
+// New creates a cache. With a Dir it ensures the directory exists.
+func New(cfg Config) (*Cache, error) {
+	memCap := cfg.MemEntries
+	if memCap == 0 {
+		memCap = DefaultMemEntries
+	}
+	if memCap < 0 {
+		memCap = 0
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simcache: %w", err)
+		}
+	}
+	return &Cache{
+		dir:    cfg.Dir,
+		memCap: memCap,
+		byKey:  map[string]*list.Element{},
+		order:  list.New(),
+	}, nil
+}
+
+// Dir returns the disk tier directory ("" when disabled).
+func (c *Cache) Dir() string { return c.dir }
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns the cached result for key, consulting the memory tier and
+// then the disk tier (promoting disk hits into memory). The returned
+// result is shared: treat it as immutable.
+func (c *Cache) Get(key string) (*interp.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.MemHits++
+		res := el.Value.(*memEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		c.note(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		c.note(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	res, err := decodeEntry(data, key)
+	if err != nil {
+		// A damaged entry is a miss, not a failure: the result is
+		// re-learnable by simulating, and the next Put overwrites it.
+		c.note(func(s *Stats) { s.Errors++; s.Misses++ })
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.insertLocked(key, res)
+	c.mu.Unlock()
+	return res, true
+}
+
+// Put stores a result under key in both tiers. Disk-tier failures are
+// tolerated and counted; the memory tier always succeeds.
+func (c *Cache) Put(key string, res *interp.Result) {
+	c.mu.Lock()
+	c.stats.Puts++
+	c.insertLocked(key, res)
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return
+	}
+	data, err := encodeEntry(key, res)
+	if err != nil {
+		c.note(func(s *Stats) { s.Errors++ })
+		return
+	}
+	if err := writeAtomic(c.entryPath(key), c.dir, data); err != nil {
+		c.note(func(s *Stats) { s.Errors++ })
+	}
+}
+
+func (c *Cache) note(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// insertLocked adds (or refreshes) a memory-tier entry and evicts LRU
+// entries beyond capacity.
+func (c *Cache) insertLocked(key string, res *interp.Result) {
+	if c.memCap == 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*memEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&memEntry{key: key, res: res})
+	for len(c.byKey) > c.memCap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*memEntry).key)
+	}
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// entry is the on-disk envelope.
+type entry struct {
+	Schema int            `json:"schema"`
+	Key    string         `json:"key"`
+	Result *interp.Result `json:"result"`
+}
+
+func encodeEntry(key string, res *interp.Result) ([]byte, error) {
+	return json.Marshal(entry{Schema: SchemaVersion, Key: key, Result: res})
+}
+
+func decodeEntry(data []byte, key string) (*interp.Result, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("simcache: corrupt entry: %w", err)
+	}
+	if e.Schema != SchemaVersion {
+		return nil, fmt.Errorf("simcache: entry schema %d, want %d", e.Schema, SchemaVersion)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("simcache: entry key mismatch (content-address violation)")
+	}
+	if e.Result == nil {
+		return nil, fmt.Errorf("simcache: entry has no result")
+	}
+	return e.Result, nil
+}
+
+// EncodeResult renders a result in the cache's canonical byte form. The
+// verify mode byte-compares cached and freshly simulated results through
+// this encoding, and the JSON round-trip is lossless for every field the
+// result carries (int64 counters and virtual times, float64 overheads).
+func EncodeResult(res *interp.Result) ([]byte, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return data, nil
+}
+
+// writeAtomic writes data to path through a temporary file in dir and an
+// atomic rename, so readers never observe a torn entry.
+func writeAtomic(path, dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

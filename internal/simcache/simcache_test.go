@@ -1,0 +1,237 @@
+package simcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/simmach"
+)
+
+// sampleResult builds a distinguishable fake result record.
+func sampleResult(tag int64) *interp.Result {
+	return &interp.Result{
+		Time: simmach.Time(tag) * simmach.Second,
+		Counters: simmach.Counters{
+			Acquires: tag, FailedAcquires: tag * 2,
+			LockTime: simmach.Time(tag) * 100, WaitTime: simmach.Time(tag) * 50,
+		},
+		Output: []string{"42", "3.14159"},
+		Sections: []*interp.SectionStats{{
+			Name:          "FORCES",
+			VersionLabels: []string{"original", "bounded/aggressive"},
+			Iterations:    tag * 10,
+			ChosenVersion: 1,
+			Executions:    []interp.ExecutionStat{{Start: 1, End: 2, Iterations: tag}},
+			Samples: []interp.SampleStat{{
+				Kind: "sampling", Version: 1, Label: "bounded/aggressive",
+				Start: 5, End: 9, Overhead: 0.12345678912345, LockOver: 0.1, WaitOver: 0.02,
+			}},
+		}},
+		Steps: tag * 1000,
+	}
+}
+
+const keyA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+const keyB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+
+func TestMemoryTierHit(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyA); ok {
+		t.Fatal("hit on empty cache")
+	}
+	res := sampleResult(7)
+	c.Put(keyA, res)
+	got, ok := c.Get(keyA)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got != res {
+		t.Error("memory tier did not return the stored pointer")
+	}
+	st := c.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 || st.DiskHits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(3)
+	c1.Put(keyA, res)
+
+	// A fresh cache over the same directory — a new process — must hit
+	// disk and decode an identical record.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(keyA)
+	if !ok {
+		t.Fatal("disk tier miss after Put from another cache")
+	}
+	wantB, _ := EncodeResult(res)
+	gotB, _ := EncodeResult(got)
+	if !bytes.Equal(wantB, gotB) {
+		t.Errorf("disk round-trip not byte-identical:\n%s\n%s", wantB, gotB)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+	// The disk hit is promoted into memory.
+	if _, ok := c2.Get(keyA); !ok {
+		t.Fatal("miss after promotion")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Errorf("stats = %+v, want one mem hit after promotion", st)
+	}
+}
+
+func TestCorruptAndSkewedEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir, MemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt JSON.
+	if err := os.WriteFile(filepath.Join(dir, keyA+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyA); ok {
+		t.Error("corrupt entry returned a hit")
+	}
+	// Wrong schema.
+	if err := os.WriteFile(filepath.Join(dir, keyB+".json"), []byte(`{"schema":999,"key":"`+keyB+`","result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyB); ok {
+		t.Error("schema-skewed entry returned a hit")
+	}
+	// Key mismatch (content-address violation, e.g. renamed file).
+	good, _ := encodeEntry(keyA, sampleResult(1))
+	if err := os.WriteFile(filepath.Join(dir, keyB+".json"), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyB); ok {
+		t.Error("key-mismatched entry returned a hit")
+	}
+	if st := c.Stats(); st.Errors != 3 {
+		t.Errorf("stats = %+v, want 3 tolerated errors", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Config{MemEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{keyA, keyB, "cccc"}
+	for i, k := range keys {
+		c.Put(k, sampleResult(int64(i)))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(keyA); ok {
+		t.Error("oldest entry not evicted")
+	}
+	if _, ok := c.Get(keyB); !ok {
+		t.Error("recent entry evicted")
+	}
+	if _, ok := c.Get("cccc"); !ok {
+		t.Error("newest entry evicted")
+	}
+	// Touching keyB makes "cccc" the LRU victim on the next insert.
+	c.Get(keyB)
+	c.Put("dddd", sampleResult(9))
+	if _, ok := c.Get("cccc"); ok {
+		t.Error("LRU order ignored: untouched entry survived")
+	}
+	if _, ok := c.Get(keyB); !ok {
+		t.Error("recently touched entry evicted")
+	}
+}
+
+func TestMemDisabledStillUsesDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir, MemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(keyA, sampleResult(5))
+	if c.Len() != 0 {
+		t.Fatalf("memory tier holds %d entries while disabled", c.Len())
+	}
+	if _, ok := c.Get(keyA); !ok {
+		t.Fatal("disk-only cache missed")
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir, MemEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer overlapping keys from several goroutines (run with -race):
+	// Get, Put, promotion, eviction, and stats must all be safe, and every
+	// observed value must be a complete record.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				c.Put(key, sampleResult(int64(i%5)))
+				if res, ok := c.Get(key); ok && len(res.Output) != 2 {
+					t.Errorf("torn record observed for %s", key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Puts != 400 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 400 puts and no errors", st)
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(keyA, sampleResult(1))
+	c.Put(keyA, sampleResult(2)) // overwrite through rename
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != keyA+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("dir contents = %v, want exactly one entry file", names)
+	}
+	got, ok := c.Get(keyA)
+	if !ok || got.Time != 2*simmach.Second {
+		t.Errorf("overwrite not visible: ok=%v", ok)
+	}
+}

@@ -1,0 +1,157 @@
+package simmach
+
+import "testing"
+
+// The micro-benchmarks pin the event engine's hot paths: dispatch through
+// the intrusive 4-ary heap (and the single-runnable fast path at 1 proc),
+// uncontended lock traffic, contended FIFO handoff, and barrier
+// rendezvous. Run with -benchmem: the steady state must stay allocation
+// free (TestSteadyStateAllocsPerEvent asserts it).
+
+// benchDispatch advances procs with distinct step lengths, so every event
+// is one heap pop and one push (or, at 1 proc, one fast-path redispatch).
+func benchDispatch(b *testing.B, procs int) {
+	m := New(Config{Procs: procs})
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		n := 0
+		d := Time(i+1) * Microsecond
+		m.Start(i, ProcessFunc(func(p *Proc) Status {
+			if n >= per {
+				return Done
+			}
+			n++
+			p.Advance(d)
+			return Ready
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkDispatch1(b *testing.B)  { benchDispatch(b, 1) }
+func BenchmarkDispatch2(b *testing.B)  { benchDispatch(b, 2) }
+func BenchmarkDispatch16(b *testing.B) { benchDispatch(b, 16) }
+
+func BenchmarkUncontendedAcquireRelease(b *testing.B) {
+	m := New(Config{Procs: 1})
+	l := m.NewLock("l")
+	n := 0
+	m.Start(0, ProcessFunc(func(p *Proc) Status {
+		if n >= b.N {
+			return Done
+		}
+		n++
+		if !p.Acquire(l) {
+			b.Fatal("uncontended acquire blocked")
+		}
+		p.Release(l)
+		return Ready
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchContendedHandoff makes procs fight over one lock; nearly every
+// grant is a blocked-waiter handoff through the FIFO queue.
+func benchContendedHandoff(b *testing.B, procs int) {
+	m := New(Config{Procs: procs})
+	l := m.NewLock("l")
+	remaining := b.N
+	for i := 0; i < procs; i++ {
+		holding := false
+		m.Start(i, ProcessFunc(func(p *Proc) Status {
+			if holding {
+				holding = false
+				p.Advance(10 * Microsecond)
+				p.Release(l)
+				return Ready
+			}
+			if remaining <= 0 {
+				return Done
+			}
+			remaining--
+			holding = true
+			if p.Acquire(l) {
+				return Ready
+			}
+			// A blocked Acquire resumes owning the lock.
+			return Blocked
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkContendedHandoff2(b *testing.B)  { benchContendedHandoff(b, 2) }
+func BenchmarkContendedHandoff16(b *testing.B) { benchContendedHandoff(b, 16) }
+
+// benchBarrier measures full rendezvous: b.N epochs of procs arrivals.
+func benchBarrier(b *testing.B, procs int) {
+	m := New(Config{Procs: procs})
+	bar := m.NewBarrier(procs)
+	for i := 0; i < procs; i++ {
+		n := 0
+		d := Time(i+1) * Microsecond
+		m.Start(i, ProcessFunc(func(p *Proc) Status {
+			if n >= b.N {
+				return Done
+			}
+			n++
+			p.Advance(d)
+			p.BarrierArrive(bar)
+			return Blocked
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if bar.Epochs() != int64(b.N) {
+		b.Fatalf("epochs = %d, want %d", bar.Epochs(), b.N)
+	}
+}
+
+func BenchmarkBarrierRendezvous2(b *testing.B)  { benchBarrier(b, 2) }
+func BenchmarkBarrierRendezvous16(b *testing.B) { benchBarrier(b, 16) }
+
+// TestSteadyStateAllocsPerEvent asserts the zero-allocation claim: after
+// warm-up (waiter queues and arrival arrays grown to capacity), lock
+// handoff and barrier rendezvous must not allocate. The bound is a small
+// fraction of an allocation per operation to absorb the one-time warm-up
+// growth, which is amortized over the benchmark's iterations.
+func TestSteadyStateAllocsPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks; run without -short")
+	}
+	cases := []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"dispatch-16", func(b *testing.B) { benchDispatch(b, 16) }},
+		{"contended-handoff-16", func(b *testing.B) { benchContendedHandoff(b, 16) }},
+		{"barrier-rendezvous-16", func(b *testing.B) { benchBarrier(b, 16) }},
+		{"uncontended", BenchmarkUncontendedAcquireRelease},
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.bench)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", c.name)
+		}
+		allocs := float64(r.MemAllocs) / float64(r.N)
+		if allocs > 0.05 {
+			t.Errorf("%s: %.3f allocs/op (%d allocs over %d ops), want steady-state zero",
+				c.name, allocs, r.MemAllocs, r.N)
+		}
+	}
+}

@@ -22,9 +22,7 @@
 package simmach
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -132,6 +130,12 @@ func DefaultConfig(procs int) Config {
 	}
 }
 
+// Normalized returns the configuration with every zero field replaced by
+// its default — the exact cost model a Machine built from c would use.
+// Cache keys are derived from the normalized form, so a zero Config and an
+// explicitly defaulted one address the same simulation results.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	d := DefaultConfig(c.Procs)
 	if c.Procs <= 0 {
@@ -212,7 +216,11 @@ type Proc struct {
 	clock   Time
 	status  Status
 	process Process
-	inHeap  bool
+	// heapIdx is the processor's slot in the ready heap (intrusive index),
+	// or -1 when not enqueued. Storing the index here removes the position
+	// map and the interface boxing of container/heap from the scheduler's
+	// hot path.
+	heapIdx int32
 
 	// Counters holds the processor's instrumentation. Clients may snapshot
 	// it at phase boundaries; the machine only ever adds to it.
@@ -295,13 +303,14 @@ type TraceEvent struct {
 
 // Machine is the simulated multiprocessor.
 type Machine struct {
-	cfg     Config
-	procs   []*Proc
-	ready   procHeap
-	locks   []*Lock
-	nextLck int
-	steps   int64
-	running bool
+	cfg      Config
+	procs    []*Proc
+	ready    procHeap
+	locks    []*Lock
+	barriers []*Barrier
+	nextLck  int
+	steps    int64
+	running  bool
 
 	// Trace, when set, receives every synchronization event as it occurs
 	// in virtual time. It must not call back into the machine.
@@ -320,8 +329,9 @@ func New(cfg Config) *Machine {
 	m := &Machine{cfg: cfg}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
-		m.procs[i] = &Proc{id: i, m: m, status: Done}
+		m.procs[i] = &Proc{id: i, m: m, status: Done, heapIdx: -1}
 	}
+	m.ready.items = make([]*Proc, 0, cfg.Procs)
 	return m
 }
 
@@ -380,7 +390,7 @@ func (m *Machine) SetClock(i int, t Time) {
 		panic("simmach: SetClock on blocked proc")
 	}
 	p.clock = t
-	if p.inHeap {
+	if p.heapIdx >= 0 {
 		m.ready.fix(p)
 	}
 }
@@ -394,7 +404,7 @@ func (m *Machine) Run() error {
 	m.running = true
 	defer func() { m.running = false }()
 	for {
-		if m.ready.Len() == 0 {
+		if m.ready.len() == 0 {
 			for _, p := range m.procs {
 				if p.status == Blocked {
 					return fmt.Errorf("simmach: deadlock: %s", m.stateString())
@@ -402,39 +412,43 @@ func (m *Machine) Run() error {
 			}
 			return nil
 		}
-		p := m.pop()
-		m.steps++
-		st := p.process.Step(p)
-		switch st {
-		case Ready:
-			p.status = Ready
-			m.push(p)
-		case Blocked:
-			// The blocking primitive already recorded the wait; if the
-			// processor was woken during its own step (e.g. it was the last
-			// arrival at a barrier), it is already back in the heap.
-			if p.status == Ready && !p.inHeap {
+		p := m.ready.pop()
+		// The inner loop is the single-runnable fast path: while p is the
+		// only runnable processor (serial sections, uncontended stretches),
+		// redispatch it directly instead of cycling it through the heap.
+		for {
+			m.steps++
+			st := p.process.Step(p)
+			if st == Ready {
+				p.status = Ready
+				if m.ready.len() == 0 {
+					continue
+				}
 				m.push(p)
+			} else if st == Blocked {
+				// The blocking primitive already recorded the wait; if the
+				// processor was woken during its own step (e.g. it was the
+				// last arrival at a barrier), it is already back in the heap.
+				if p.status == Ready && p.heapIdx < 0 {
+					m.push(p)
+				}
+			} else if st == Done {
+				p.status = Done
+				p.process = nil
+			} else {
+				panic(fmt.Sprintf("simmach: bad status %v from proc %d", st, p.id))
 			}
-		case Done:
-			p.status = Done
-			p.process = nil
-		default:
-			panic(fmt.Sprintf("simmach: bad status %v from proc %d", st, p.id))
+			break
 		}
 	}
 }
 
 func (m *Machine) push(p *Proc) {
-	if p.inHeap {
+	if p.heapIdx >= 0 {
 		return
 	}
 	p.status = Ready
-	heap.Push(&m.ready, p)
-}
-
-func (m *Machine) pop() *Proc {
-	return heap.Pop(&m.ready).(*Proc)
+	m.ready.push(p)
 }
 
 func (m *Machine) stateString() string {
@@ -443,55 +457,112 @@ func (m *Machine) stateString() string {
 		fmt.Fprintf(&b, "proc %d: %v at %v; ", p.id, p.status, p.clock)
 	}
 	for _, l := range m.locks {
-		if l.owner >= 0 || len(l.waiters) > 0 {
-			fmt.Fprintf(&b, "lock %q: owner %d, %d waiters; ", l.name, l.owner, len(l.waiters))
+		if l.owner >= 0 || l.waiting() > 0 {
+			fmt.Fprintf(&b, "lock %q: owner %d, %d waiters; ", l.name, l.owner, l.waiting())
 		}
+	}
+	for i, bar := range m.barriers {
+		if bar.count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "barrier %d: %d/%d arrived, waiting procs %v; ", i, bar.count, bar.n, bar.waitingIDs())
 	}
 	return strings.TrimSuffix(b.String(), "; ")
 }
 
-// procHeap orders runnable processors by (clock, id).
+// procHeap is an intrusive 4-ary min-heap of runnable processors ordered
+// by (clock, id). Each processor stores its own slot index (Proc.heapIdx),
+// so there is no position map to maintain and no interface boxing on
+// push/pop; the 4-ary layout halves the tree depth of a binary heap for
+// the machine sizes the simulator models (≤ 64 processors).
 type procHeap struct {
 	items []*Proc
-	pos   map[*Proc]int
 }
 
-func (h *procHeap) Len() int { return len(h.items) }
-func (h *procHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+// before reports the scheduling order: smaller clock first, ties broken by
+// processor ID for determinism.
+func (h *procHeap) before(a, b *Proc) bool {
 	if a.clock != b.clock {
 		return a.clock < b.clock
 	}
 	return a.id < b.id
 }
-func (h *procHeap) Swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	if h.pos != nil {
-		h.pos[h.items[i]] = i
-		h.pos[h.items[j]] = j
-	}
-}
-func (h *procHeap) Push(x any) {
-	p := x.(*Proc)
-	if h.pos == nil {
-		h.pos = make(map[*Proc]int)
-	}
-	h.pos[p] = len(h.items)
+
+func (h *procHeap) len() int { return len(h.items) }
+
+func (h *procHeap) push(p *Proc) {
+	p.heapIdx = int32(len(h.items))
 	h.items = append(h.items, p)
-	p.inHeap = true
+	h.up(int(p.heapIdx))
 }
-func (h *procHeap) Pop() any {
-	n := len(h.items)
-	p := h.items[n-1]
-	h.items = h.items[:n-1]
-	delete(h.pos, p)
-	p.inHeap = false
-	return p
-}
-func (h *procHeap) fix(p *Proc) {
-	if i, ok := h.pos[p]; ok {
-		heap.Fix(h, i)
+
+func (h *procHeap) pop() *Proc {
+	root := h.items[0]
+	n := len(h.items) - 1
+	last := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	root.heapIdx = -1
+	if n > 0 {
+		h.items[0] = last
+		last.heapIdx = 0
+		h.down(0)
 	}
+	return root
+}
+
+// fix restores heap order after p's clock changed in place.
+func (h *procHeap) fix(p *Proc) {
+	i := int(p.heapIdx)
+	h.up(i)
+	if int(p.heapIdx) == i {
+		h.down(i)
+	}
+}
+
+func (h *procHeap) up(i int) {
+	item := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		q := h.items[parent]
+		if !h.before(item, q) {
+			break
+		}
+		h.items[i] = q
+		q.heapIdx = int32(i)
+		i = parent
+	}
+	h.items[i] = item
+	item.heapIdx = int32(i)
+}
+
+func (h *procHeap) down(i int) {
+	item := h.items[i]
+	n := len(h.items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.before(h.items[c], h.items[best]) {
+				best = c
+			}
+		}
+		if !h.before(h.items[best], item) {
+			break
+		}
+		h.items[i] = h.items[best]
+		h.items[i].heapIdx = int32(i)
+		i = best
+	}
+	h.items[i] = item
+	item.heapIdx = int32(i)
 }
 
 // Lock is a spin lock with FIFO handoff. A processor that fails to acquire
@@ -499,17 +570,37 @@ func (h *procHeap) fix(p *Proc) {
 // spinning is charged — as waiting time and as failed acquire attempts — when
 // the lock is handed to it. This is arithmetically identical to simulating
 // each spin iteration, but costs O(1) events per handoff.
+//
+// The waiter queue exploits a property of the scheduler: processors are
+// dispatched in non-decreasing (clock, id) order, so waiters normally
+// block — and are appended — in exactly the FIFO handoff order
+// (earliest attempt first, ties by processor ID). While that invariant
+// holds, handoff pops the queue head in O(1); an append that violates it
+// (a processor that advanced past a later-dispatched one before blocking)
+// flips the queue into a scan fallback until it drains. The backing array
+// is retained across rendezvous, so steady-state lock traffic allocates
+// nothing.
 type Lock struct {
-	m       *Machine
-	name    string
-	owner   int // processor ID, or -1 when free
+	m    *Machine
+	name string
+	owner int // processor ID, or -1 when free
+	// waiters[whead:] is the active queue; the prefix is already handed
+	// off. The array is reset (keeping capacity) whenever it drains.
 	waiters []lockWaiter
+	whead   int
+	// unordered is set when an append broke the non-decreasing (since, id)
+	// invariant; Release then falls back to an O(n) scan for the FIFO
+	// winner until the queue drains.
+	unordered bool
 }
 
 type lockWaiter struct {
 	p     *Proc
 	since Time
 }
+
+// waiting returns the number of queued waiters.
+func (l *Lock) waiting() int { return len(l.waiters) - l.whead }
 
 // NewLock creates a lock. The name appears in traces and deadlock reports.
 func (m *Machine) NewLock(name string) *Lock {
@@ -544,10 +635,28 @@ func (p *Proc) Acquire(l *Lock) bool {
 		p.m.trace(TraceAcquire, p.id, p.clock, l.name)
 		return true
 	}
-	l.waiters = append(l.waiters, lockWaiter{p: p, since: p.clock})
+	l.enqueue(p)
 	p.status = Blocked
 	p.m.trace(TraceBlock, p.id, p.clock, l.name)
 	return false
+}
+
+// enqueue appends p to the waiter queue, checking the FIFO-order
+// invariant (non-decreasing since, ties in increasing processor ID).
+func (l *Lock) enqueue(p *Proc) {
+	if l.whead == len(l.waiters) {
+		// Queue drained: reuse the backing array and restore fast handoff.
+		l.waiters = l.waiters[:0]
+		l.whead = 0
+		l.unordered = false
+	}
+	if n := len(l.waiters); n > l.whead && !l.unordered {
+		last := l.waiters[n-1]
+		if p.clock < last.since || (p.clock == last.since && p.id < last.p.id) {
+			l.unordered = true
+		}
+	}
+	l.waiters = append(l.waiters, lockWaiter{p: p, since: p.clock})
 }
 
 // TryAcquire attempts to take the lock without blocking. On failure it
@@ -576,20 +685,34 @@ func (p *Proc) Release(l *Lock) {
 	p.Counters.LockTime += c
 	releaseTime := p.clock
 	p.m.trace(TraceRelease, p.id, releaseTime, l.name)
-	if len(l.waiters) == 0 {
+	if l.whead == len(l.waiters) {
 		l.owner = -1
 		return
 	}
 	// FIFO handoff: earliest attempt wins; ties broken by processor ID.
-	best := 0
-	for i := 1; i < len(l.waiters); i++ {
-		w, b := l.waiters[i], l.waiters[best]
-		if w.since < b.since || (w.since == b.since && w.p.id < b.p.id) {
-			best = i
+	// While the queue-order invariant holds, that is exactly the head.
+	var w lockWaiter
+	if !l.unordered {
+		w = l.waiters[l.whead]
+		l.waiters[l.whead] = lockWaiter{}
+		l.whead++
+	} else {
+		best := l.whead
+		for i := l.whead + 1; i < len(l.waiters); i++ {
+			wi, wb := l.waiters[i], l.waiters[best]
+			if wi.since < wb.since || (wi.since == wb.since && wi.p.id < wb.p.id) {
+				best = i
+			}
 		}
+		w = l.waiters[best]
+		copy(l.waiters[best:], l.waiters[best+1:])
+		l.waiters = l.waiters[:len(l.waiters)-1]
 	}
-	w := l.waiters[best]
-	l.waiters = append(l.waiters[:best], l.waiters[best+1:]...)
+	if l.whead == len(l.waiters) {
+		l.waiters = l.waiters[:0]
+		l.whead = 0
+		l.unordered = false
+	}
 	l.owner = w.p.id
 	wp := w.p
 	waited := releaseTime - w.since
@@ -624,11 +747,20 @@ func (m *Machine) wake(p *Proc) {
 // processors. The paper's generated code uses barriers to switch policies
 // synchronously, so that every processor uses the same policy during each
 // sampling interval (§4.1).
+//
+// Arrival state is a pair of per-processor arrays indexed by processor ID
+// (an epoch stamp and an arrival time), so arrival, the duplicate-arrival
+// check, and release are all scans-free per event: a rendezvous costs O(1)
+// per arrival plus one in-ID-order release pass, and allocates nothing.
 type Barrier struct {
-	m       *Machine
-	n       int
-	arrived []lockWaiter
-	epochs  int64
+	m     *Machine
+	n     int
+	count int
+	// arrivedEpoch[id] == epochs+1 marks a processor that has arrived in
+	// the epoch currently being gathered; since[id] is its arrival time.
+	arrivedEpoch []int64
+	since        []Time
+	epochs       int64
 
 	// OnComplete, when set, runs at the moment the last processor arrives,
 	// before any participant is charged its barrier wait or woken. The
@@ -644,11 +776,30 @@ func (m *Machine) NewBarrier(n int) *Barrier {
 	if n <= 0 {
 		panic("simmach: barrier size must be positive")
 	}
-	return &Barrier{m: m, n: n}
+	b := &Barrier{
+		m:            m,
+		n:            n,
+		arrivedEpoch: make([]int64, len(m.procs)),
+		since:        make([]Time, len(m.procs)),
+	}
+	m.barriers = append(m.barriers, b)
+	return b
 }
 
 // Epochs returns how many times the barrier has completed.
 func (b *Barrier) Epochs() int64 { return b.epochs }
+
+// waitingIDs lists the processors currently waiting at the barrier, for
+// deadlock reports.
+func (b *Barrier) waitingIDs() []int {
+	var ids []int
+	for id, e := range b.arrivedEpoch {
+		if e == b.epochs+1 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
 
 // Arrive records p's arrival. If p is the last arrival the barrier
 // completes: every participant's clock advances to the last arrival time
@@ -657,38 +808,42 @@ func (b *Barrier) Epochs() int64 { return b.epochs }
 // blocks the caller; the caller's Step must return Blocked immediately
 // after calling it. Work after the barrier must be issued on the next Step.
 func (p *Proc) BarrierArrive(b *Barrier) {
-	for _, w := range b.arrived {
-		if w.p == p {
-			panic(fmt.Sprintf("simmach: proc %d arrived twice at barrier", p.id))
-		}
+	cur := b.epochs + 1
+	if b.arrivedEpoch[p.id] == cur {
+		panic(fmt.Sprintf("simmach: proc %d arrived twice at barrier", p.id))
 	}
-	b.arrived = append(b.arrived, lockWaiter{p: p, since: p.clock})
+	b.arrivedEpoch[p.id] = cur
+	b.since[p.id] = p.clock
+	b.count++
 	p.status = Blocked
 	b.m.trace(TraceBarrierArrive, p.id, p.clock, "")
-	if len(b.arrived) < b.n {
+	if b.count < b.n {
 		return
 	}
 	var last Time
-	for _, w := range b.arrived {
-		if w.since > last {
-			last = w.since
+	for id, e := range b.arrivedEpoch {
+		if e == cur && b.since[id] > last {
+			last = b.since[id]
 		}
 	}
 	if b.OnComplete != nil {
 		b.OnComplete(last)
 	}
 	release := last + b.m.cfg.BarrierCost
-	// Wake in ID order for determinism.
-	sort.Slice(b.arrived, func(i, j int) bool { return b.arrived[i].p.id < b.arrived[j].p.id })
-	for _, w := range b.arrived {
-		wp := w.p
-		wait := last - w.since
+	// The per-ID arrays are naturally ID-ordered, so waking in ID order —
+	// the determinism requirement — needs no sort.
+	for id, e := range b.arrivedEpoch {
+		if e != cur {
+			continue
+		}
+		wp := b.m.procs[id]
+		wait := last - b.since[id]
 		wp.Counters.BarrierWait += wait
-		wp.Counters.Busy += release - w.since
+		wp.Counters.Busy += release - b.since[id]
 		wp.clock = release
 		b.m.wake(wp)
 	}
-	b.arrived = b.arrived[:0]
+	b.count = 0
 	b.epochs++
 	b.m.trace(TraceBarrierRelease, p.id, release, "")
 }

@@ -2,6 +2,7 @@ package simmach
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -371,11 +372,17 @@ func TestBarrierReusable(t *testing.T) {
 func TestDeadlockDetected(t *testing.T) {
 	m := New(Config{Procs: 2})
 	b := m.NewBarrier(2)
-	// Only one proc arrives; the other finishes. Deadlock must be reported.
+	// Only one proc arrives; the other finishes. Deadlock must be reported,
+	// and the report must include the stuck barrier's arrival state.
 	m.Start(0, &scriptProc{steps: []func(*Proc) Status{arrive(b)}})
 	m.Start(1, &scriptProc{steps: []func(*Proc) Status{compute(Millisecond)}})
-	if err := m.Run(); err == nil {
+	err := m.Run()
+	if err == nil {
 		t.Fatal("Run() = nil error, want deadlock")
+	}
+	msg := err.Error()
+	if want := "barrier 0: 1/2 arrived, waiting procs [0]"; !strings.Contains(msg, want) {
+		t.Errorf("deadlock report %q does not include barrier state %q", msg, want)
 	}
 }
 
