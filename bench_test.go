@@ -88,6 +88,10 @@ func BenchmarkAblationSpanningIntervals(b *testing.B)   { runExperiment(b, "abla
 func BenchmarkAblationInstrumentation(b *testing.B)     { runExperiment(b, "ablation-instr") }
 func BenchmarkAblationFlagDispatch(b *testing.B)        { runExperiment(b, "ablation-flags") }
 func BenchmarkAblationAutoTune(b *testing.B)            { runExperiment(b, "ablation-autotune") }
+func BenchmarkAdaptCrossover(b *testing.B)              { runExperiment(b, "adapt-crossover") }
+func BenchmarkAdaptRamp(b *testing.B)                   { runExperiment(b, "adapt-ramp") }
+func BenchmarkAdaptPeriodic(b *testing.B)               { runExperiment(b, "adapt-periodic") }
+func BenchmarkAdaptSkew(b *testing.B)                   { runExperiment(b, "adapt-skew") }
 
 // BenchmarkDynfbDispatch measures the real-time library's per-iteration
 // overhead: claim + body dispatch + switch-point poll, single variant.

@@ -17,8 +17,14 @@
 // Usage:
 //
 //	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
+//	        [-perturb crossover|ramp|periodic|skew|all]
 //	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
 //	        [-cache dir] [-cache-mem N] [-cache-verify] [-cache-timing]
+//
+// -perturb selects the adaptivity experiment for one or more named
+// perturbation scenarios (internal/perturb): the environment changes
+// mid-run and the shape checks assert the dynamic feedback controller
+// re-adapts. It composes with -run; alone, only the named scenarios run.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/parexec"
+	"repro/internal/perturb"
 	"repro/internal/simcache"
 )
 
@@ -41,6 +48,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run with reduced input sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts (default 1,2,4,6,8,12,16)")
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	perturbFlag := flag.String("perturb", "", "comma-separated perturbation scenarios (or \"all\"): run the adaptivity experiment for each")
 	par := flag.Int("p", 0, "max simulations in flight (default GOMAXPROCS; 1 runs serially)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows and series as CSV files into this directory")
 	jsonPath := flag.String("json", "BENCH_suite.json", "write every report plus host wall-clock timing as JSON to this path (empty disables)")
@@ -82,13 +90,34 @@ func main() {
 		}
 	}
 	var selected []bench.Experiment
-	if *runFlag == "" {
+	if *runFlag == "" && *perturbFlag == "" {
 		selected = bench.Experiments()
-	} else {
+	}
+	if *runFlag != "" {
 		for _, id := range strings.Split(*runFlag, ",") {
 			e, ok := bench.ExperimentByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *perturbFlag != "" {
+		scenarios := strings.Split(*perturbFlag, ",")
+		if *perturbFlag == "all" {
+			scenarios = perturb.ScenarioNames()
+		}
+		for _, name := range scenarios {
+			name = strings.TrimSpace(name)
+			if _, ok := perturb.Scenario(name); !ok {
+				fmt.Fprintf(os.Stderr, "dfbench: unknown perturbation scenario %q (have %s)\n",
+					name, strings.Join(perturb.ScenarioNames(), ", "))
+				os.Exit(2)
+			}
+			e, ok := bench.ExperimentByID("adapt-" + name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dfbench: scenario %q has no adaptivity experiment\n", name)
 				os.Exit(2)
 			}
 			selected = append(selected, e)
@@ -245,12 +274,12 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		exps[i] = expJSON{Report: rep, HostWallMS: walls[i]}
 	}
 	doc := struct {
-		GeneratedAt  string    `json:"generated_at"`
-		Quick        bool      `json:"quick"`
-		Procs        []int     `json:"procs,omitempty"`
-		HostCPUs     int       `json:"host_cpus"`
-		Parallelism  int       `json:"parallelism"`
-		TotalWallMS  float64   `json:"total_wall_ms"`
+		GeneratedAt  string     `json:"generated_at"`
+		Quick        bool       `json:"quick"`
+		Procs        []int      `json:"procs,omitempty"`
+		HostCPUs     int        `json:"host_cpus"`
+		Parallelism  int        `json:"parallelism"`
+		TotalWallMS  float64    `json:"total_wall_ms"`
 		SerialWallMS float64    `json:"serial_wall_ms,omitempty"`
 		Speedup      float64    `json:"speedup_vs_serial,omitempty"`
 		Cache        *cacheJSON `json:"cache,omitempty"`

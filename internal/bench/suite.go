@@ -239,6 +239,28 @@ func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
 	})
 }
 
+// RunWith executes an application with fully explicit options — parameter
+// overrides and perturbation schedule included — memoized like Run. The
+// adaptivity experiments use it: their workloads are sized to straddle the
+// scenario's change points, independent of the Quick-scaled shared cells.
+func (s *Suite) RunWith(name string, opts interp.Options) (*interp.Result, error) {
+	var pb strings.Builder
+	for _, k := range sortedKeys(opts.Params) {
+		fmt.Fprintf(&pb, "%s=%d,", k, opts.Params[k])
+	}
+	key := fmt.Sprintf("%s|with|%d|%s|%d|%d|%v%v%v%v%v|%d|%s|%s", name, opts.Procs, opts.Policy,
+		opts.TargetSampling, opts.TargetProduction,
+		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
+		opts.AutoTuneProduction, opts.InstrumentationCost, pb.String(), opts.Perturb.Key())
+	return s.runs.Do(key, func() (*interp.Result, error) {
+		c, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		return s.simulate(c.Parallel, opts, fmt.Sprintf("%s %s/%d", name, opts.Policy, opts.Procs))
+	})
+}
+
 // RunSerial executes the serial baseline.
 func (s *Suite) RunSerial(name string) (*interp.Result, error) {
 	return s.runs.Do(name+"|serial", func() (*interp.Result, error) {
@@ -379,6 +401,10 @@ func Experiments() []Experiment {
 		{"ablation-instr", "Ablation: instrumentation overhead (§4.3)", AblationInstrumentation},
 		{"ablation-flags", "Ablation: multi-version vs flag-dispatch codegen (§4.2)", AblationFlagDispatch},
 		{"ablation-autotune", "Ablation: run-time production-interval tuning (§5 closed loop)", AblationAutoTune},
+		{"adapt-crossover", "Adaptivity: best-policy crossover under background contention (perturb)", AdaptCrossover},
+		{"adapt-ramp", "Adaptivity: gradual lock-cost drift (perturb)", AdaptRamp},
+		{"adapt-periodic", "Adaptivity: periodic contention bursts (perturb)", AdaptPeriodic},
+		{"adapt-skew", "Adaptivity: per-processor slowdown, stolen cycles (perturb)", AdaptSkew},
 	}
 }
 

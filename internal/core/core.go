@@ -278,8 +278,20 @@ type Controller struct {
 	// and derivable from the history.
 	tunedProduction Nanos
 
-	samples []Sample
-	stats   []PolicyStats
+	samples  []Sample
+	stats    []PolicyStats
+	switches []Switch
+}
+
+// Switch records one production-phase entry: after which sampling round,
+// which policy won, and the instant production began. Consecutive entries
+// selecting different policies are the re-adaptation events the adaptivity
+// experiments measure latency from (§2.3, §5: time from an environment
+// change to the controller producing with the newly best policy).
+type Switch struct {
+	Round  int
+	Policy int
+	At     Nanos
 }
 
 // NewController validates cfg, applies defaults, and returns a controller.
@@ -341,6 +353,10 @@ func (c *Controller) Rounds() int { return c.round }
 
 // Samples returns the full history of completed intervals.
 func (c *Controller) Samples() []Sample { return c.samples }
+
+// Switches returns every production-phase entry, in order. The caller must
+// not mutate the slice.
+func (c *Controller) Switches() []Switch { return c.switches }
 
 // Stats returns per-policy aggregate statistics.
 func (c *Controller) Stats() []PolicyStats {
@@ -515,6 +531,7 @@ func (c *Controller) enterProduction(now Nanos, policy int) {
 	c.phaseElapsed = 0
 	c.acc = Measurement{}
 	c.stats[policy].TimesChosen++
+	c.switches = append(c.switches, Switch{Round: c.round, Policy: policy, At: now})
 	if c.cfg.AutoTuneProduction {
 		if rec, ok := c.RecommendProduction(); ok {
 			c.tunedProduction = rec

@@ -170,9 +170,12 @@ func sortedFPKeys[V any](m map[string]V) []string {
 // SHA-256 over the program fingerprint plus every Options field that can
 // influence the result — processor count, policy, dynamic-feedback
 // intervals and controller switches, parameter overrides, the normalized
-// machine cost model, and the runtime cost knobs. Runs that install a
-// Trace callback are not cacheable (the trace is a side effect a cached
-// result cannot replay); for those ok is false.
+// machine cost model, the runtime cost knobs, and the canonical encoding
+// of the perturbation schedule (the nil and empty schedules encode
+// identically, so an unperturbed run's address does not depend on how "no
+// perturbation" is spelled). Runs that install a Trace callback are not
+// cacheable (the trace is a side effect a cached result cannot replay);
+// for those ok is false.
 func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	if opts.Trace != nil {
 		return "", false
@@ -184,7 +187,9 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 
 	h := sha256.New()
 	w := &fpWriter{h: h}
-	w.str("obl-run-v1")
+	// v2: adds the perturbation-schedule encoding. The version bump also
+	// retires v1 entries, whose cached results predate SectionStats.Switches.
+	w.str("obl-run-v2")
 	w.str(Fingerprint(p))
 	w.i64(int64(opts.Procs))
 	w.str(opts.Policy)
@@ -210,5 +215,8 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	w.i64(int64(opts.ForkCost))
 	w.i64(int64(opts.InstrumentationCost))
 	w.i64(opts.MaxSteps)
+	sched := opts.Perturb.AppendCanonical(nil)
+	w.u64(uint64(len(sched)))
+	h.Write(sched)
 	return hex.EncodeToString(h.Sum(nil)), true
 }

@@ -3,6 +3,7 @@ package interp
 import (
 	"testing"
 
+	"repro/internal/perturb"
 	"repro/internal/simmach"
 	"repro/oblc"
 )
@@ -108,5 +109,53 @@ func TestCacheKeySensitivity(t *testing.T) {
 	traced.Trace = func(simmach.TraceEvent) {}
 	if _, ok := CacheKey(c.Serial, traced); ok {
 		t.Error("traced run reported cacheable")
+	}
+}
+
+// TestCacheKeyIncludesPerturbSchedule guards against the silent stale-hit
+// bug: two runs that differ only in their perturbation schedule must never
+// share a cache entry, while the nil and empty schedules (and a schedule
+// differing only in its cosmetic Name) must address the same simulation.
+func TestCacheKeyIncludesPerturbSchedule(t *testing.T) {
+	c, err := oblc.Compile(fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Procs: 4, Policy: "dynamic"}
+	k0, ok := CacheKey(c.Serial, base)
+	if !ok {
+		t.Fatal("CacheKey not ok for plain options")
+	}
+
+	perturbed := base
+	perturbed.Perturb = &perturb.Schedule{Changes: []perturb.Change{
+		{At: 100 * simmach.Millisecond, AcquireMilli: 4000},
+	}}
+	kp, ok := CacheKey(c.Serial, perturbed)
+	if !ok {
+		t.Fatal("perturbed run not cacheable")
+	}
+	if kp == k0 {
+		t.Error("perturbed and unperturbed runs share a cache key")
+	}
+
+	later := base
+	later.Perturb = &perturb.Schedule{Changes: []perturb.Change{
+		{At: 200 * simmach.Millisecond, AcquireMilli: 4000},
+	}}
+	if kl, _ := CacheKey(c.Serial, later); kl == kp {
+		t.Error("schedules differing only in change time share a cache key")
+	}
+
+	empty := base
+	empty.Perturb = &perturb.Schedule{Name: "noop"}
+	if ke, _ := CacheKey(c.Serial, empty); ke != k0 {
+		t.Error("empty schedule addressed differently from nil schedule")
+	}
+
+	renamed := perturbed
+	renamed.Perturb = &perturb.Schedule{Name: "other", Changes: perturbed.Perturb.Changes}
+	if kr, _ := CacheKey(c.Serial, renamed); kr != kp {
+		t.Error("cosmetic schedule Name changed the cache key")
 	}
 }

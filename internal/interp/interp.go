@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obl/ir"
+	"repro/internal/perturb"
 	"repro/internal/simmach"
 )
 
@@ -64,6 +65,13 @@ type Options struct {
 	// Machine overrides the simulator cost model; Procs wins over
 	// Machine.Procs.
 	Machine simmach.Config
+	// Perturb, when non-nil and non-empty, is a deterministic schedule of
+	// environment perturbations applied to the simulated machine in virtual
+	// time (internal/perturb): scheduled cost changes, per-processor
+	// slowdowns, and injected background contention. The schedule is part
+	// of the run's content address (CacheKey), so perturbed and unperturbed
+	// runs never share a cache entry.
+	Perturb *perturb.Schedule
 	// ClaimCost is charged per iteration claim (shared counter fetch-add).
 	// Default 150ns.
 	ClaimCost simmach.Time
@@ -133,13 +141,29 @@ type SampleStat struct {
 	WaitOver float64
 }
 
+// SwitchStat is one production-phase entry of a section's controller:
+// after which sampling round, which version won, and when production began.
+// Consecutive entries selecting different versions are re-adaptation
+// events; the adaptivity experiments measure latency as the virtual time
+// from an environment change to the first switch onto the newly best
+// version.
+type SwitchStat struct {
+	Round   int
+	Version int
+	Label   string
+	At      simmach.Time
+}
+
 // SectionStats aggregates a section's behaviour over a run.
 type SectionStats struct {
 	Name          string
 	VersionLabels []string
 	Executions    []ExecutionStat
 	Samples       []SampleStat
-	Iterations    int64
+	// Switches lists every production-phase entry of the section's dynamic
+	// feedback controller (empty for static runs).
+	Switches   []SwitchStat
+	Iterations int64
 	// Busy is the total processor time spent inside the section.
 	Busy simmach.Time
 	// Counters is the section's share of the machine counters.
@@ -237,6 +261,15 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		controllers: map[int]*core.Controller{},
 		stats:       map[int]*SectionStats{},
 	}
+	if !opts.Perturb.Empty() {
+		tbl, err := opts.Perturb.Table(mcfg.Normalized())
+		if err != nil {
+			return nil, fmt.Errorf("interp: perturbation schedule: %w", err)
+		}
+		if err := rt.m.SetParamTable(tbl); err != nil {
+			return nil, fmt.Errorf("interp: perturbation schedule: %w", err)
+		}
+	}
 	rt.m.Trace = opts.Trace
 	rt.barrier = rt.m.NewBarrier(opts.Procs)
 	if p.FlagPolicies != nil {
@@ -295,6 +328,14 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 					Overhead: s.Overhead,
 					LockOver: m.LockingOverhead(),
 					WaitOver: m.WaitingOverhead(),
+				})
+			}
+			for _, sw := range ctl.Switches() {
+				st.Switches = append(st.Switches, SwitchStat{
+					Round:   sw.Round,
+					Version: sw.Policy,
+					Label:   st.VersionLabels[sw.Policy],
+					At:      simmach.Time(sw.At),
 				})
 			}
 			st.ChosenVersion = ctl.BestKnownPolicy()
@@ -561,7 +602,11 @@ func (t *task) reset(sr *sectionRun) {
 // Step implements simmach.Process.
 func (t *task) Step(p *simmach.Proc) simmach.Status {
 	if t.rt.m.Steps() > t.rt.opts.MaxSteps {
-		t.rt.fail("step budget exceeded (%d); possible livelock", t.rt.opts.MaxSteps)
+		if ps := t.rt.m.PerturbState(); ps != "" {
+			t.rt.fail("step budget exceeded (%d); possible livelock; %s", t.rt.opts.MaxSteps, ps)
+		} else {
+			t.rt.fail("step budget exceeded (%d); possible livelock", t.rt.opts.MaxSteps)
+		}
 	}
 	t.executed = 0
 	for {

@@ -1,0 +1,89 @@
+package perturb
+
+import "repro/internal/simmach"
+
+// Built-in scenarios. Each models one of the environment drifts §2.3 and §5
+// of the paper argue dynamic feedback must survive; the adaptivity
+// experiments (internal/bench) pair each scenario with a workload sized so
+// the change lands mid-run. Times are virtual.
+
+// Scenario returns a built-in schedule by name.
+func Scenario(name string) (*Schedule, bool) {
+	switch name {
+	case "crossover":
+		return Crossover(), true
+	case "ramp":
+		return Ramp(), true
+	case "periodic":
+		return Periodic(), true
+	case "skew":
+		return Skew(), true
+	default:
+		return nil, false
+	}
+}
+
+// ScenarioNames lists the built-in scenario names in stable order.
+func ScenarioNames() []string {
+	return []string{"crossover", "ramp", "periodic", "skew"}
+}
+
+// Crossover switches on heavy background lock contention at 400ms: from
+// then on every uncontended acquire finds a phantom holder keeping the lock
+// for 600µs. Policies pay proportionally to how often they acquire, so a
+// fine-grained policy that wins the uncontended phase loses decisively to a
+// coarse-grained one afterwards — the best static policy crosses over
+// mid-run.
+func Crossover() *Schedule {
+	return &Schedule{
+		Name: "crossover",
+		Changes: []Change{
+			{At: 400 * simmach.Millisecond, HoldEvery: 1, HoldFor: 600 * simmach.Microsecond},
+		},
+	}
+}
+
+// Ramp drifts the lock acquire/release hardware costs linearly from 1× to
+// 12× over [50ms, 350ms] (25ms grid) — the "gradual environment change"
+// regime: no single step, but the measured overhead of lock-heavy policies
+// climbs round over round.
+func Ramp() *Schedule {
+	return &Schedule{
+		Name:       "ramp",
+		Resolution: 25 * simmach.Millisecond,
+		Changes: []Change{
+			{At: 50 * simmach.Millisecond, RampFor: 300 * simmach.Millisecond, AcquireMilli: 12000, ReleaseMilli: 12000},
+		},
+	}
+}
+
+// Periodic toggles the crossover-grade background contention on and off in
+// 150ms half-periods (four full cycles starting at 150ms), so the best
+// policy flips repeatedly and the controller must keep re-adapting in both
+// directions.
+func Periodic() *Schedule {
+	s := &Schedule{Name: "periodic"}
+	period := 300 * simmach.Millisecond
+	for k := 0; k < 4; k++ {
+		on := 150*simmach.Millisecond + simmach.Time(k)*period
+		s.Changes = append(s.Changes,
+			Change{At: on, HoldEvery: 1, HoldFor: 600 * simmach.Microsecond},
+			Change{At: on + period/2, HoldEvery: -1},
+		)
+	}
+	return s
+}
+
+// Skew slows processors 4–7 to one third of full compute speed at 150ms
+// (stolen cycles / a co-scheduled competing job). Every policy slows by the
+// same structural factor, so the winner should not change — the experiment
+// checks the controller does not churn.
+func Skew() *Schedule {
+	s := &Schedule{Name: "skew"}
+	c := Change{At: 150 * simmach.Millisecond}
+	for proc := 4; proc < 8; proc++ {
+		c.Slow = append(c.Slow, Slowdown{Proc: proc, Milli: 3000})
+	}
+	s.Changes = []Change{c}
+	return s
+}

@@ -16,10 +16,14 @@
 //
 //	GET  /healthz   liveness, uptime, request counters
 //	GET  /sections  the registered adaptive sections and their variants
-//	GET  /stats     live per-variant overhead/winner report per section
+//	GET  /stats     live per-variant overhead/winner report per section,
+//	                plus the most recent OBL run's adaptation events
 //	POST /run       execute a workload: a native section ({"section":...})
 //	                or a compiled OBL program on the simulated machine
-//	                ({"app":...})
+//	                ({"app":...}), optionally under a perturbation
+//	                schedule ({"perturb":"crossover"} names a built-in
+//	                scenario, {"schedule":{...}} inlines one); the
+//	                response reports each section's adaptation events
 //
 // All runs draw from a shared worker pool: at most Config.MaxConcurrent
 // workload executions are in flight at once, each using Config.Workers
@@ -41,6 +45,7 @@ import (
 	"repro/dynfb/store"
 	"repro/internal/apps"
 	"repro/internal/interp"
+	"repro/internal/perturb"
 	"repro/internal/simcache"
 	"repro/internal/simmach"
 	"repro/oblc"
@@ -107,9 +112,45 @@ type Server struct {
 	appMu    sync.Mutex
 	compiled map[string]*oblc.Compiled
 
+	// adaptMu guards lastAdapt, the most recent OBL run's per-section
+	// adaptation events, reported by /stats.
+	adaptMu   sync.Mutex
+	lastAdapt *adaptRecordJSON
+
 	requests atomic.Int64
 	runsOK   atomic.Int64
 	runsErr  atomic.Int64
+}
+
+// adaptEventJSON is one controller adaptation event: after which sampling
+// round the controller moved production onto which policy, and when
+// (virtual time) the switch took effect.
+type adaptEventJSON struct {
+	Round  int    `json:"round"`
+	Policy string `json:"policy"`
+	AtNS   int64  `json:"at_ns"`
+}
+
+// adaptRecordJSON is the most recent OBL run's adaptation report.
+type adaptRecordJSON struct {
+	App      string                      `json:"app"`
+	Policy   string                      `json:"policy"`
+	Procs    int                         `json:"procs"`
+	Perturb  string                      `json:"perturb,omitempty"`
+	Sections map[string][]adaptEventJSON `json:"sections"`
+}
+
+// adaptEvents extracts a section's adaptation events: the initial
+// production selection plus every production entry that changed version.
+func adaptEvents(sec *interp.SectionStats) []adaptEventJSON {
+	var out []adaptEventJSON
+	for i, sw := range sec.Switches {
+		if i > 0 && sw.Version == sec.Switches[i-1].Version {
+			continue
+		}
+		out = append(out, adaptEventJSON{Round: sw.Round, Policy: sw.Label, AtNS: int64(sw.At)})
+	}
+	return out
 }
 
 // New builds a server with every bundled native workload registered.
@@ -290,6 +331,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cache != nil {
 		doc["simcache"] = s.cfg.Cache.Stats()
 	}
+	s.adaptMu.Lock()
+	if s.lastAdapt != nil {
+		doc["adaptations"] = s.lastAdapt
+	}
+	s.adaptMu.Unlock()
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -310,6 +356,12 @@ type runRequest struct {
 	// Params are workload parameters: booleans/numbers for native
 	// sections, integer program-parameter overrides for OBL apps.
 	Params map[string]any `json:"params,omitempty"`
+	// Perturb names a built-in perturbation scenario (internal/perturb)
+	// applied to the simulated machine (OBL runs only).
+	Perturb string `json:"perturb,omitempty"`
+	// Schedule is an inline perturbation schedule (OBL runs only);
+	// mutually exclusive with Perturb.
+	Schedule *perturb.Schedule `json:"schedule,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +403,13 @@ func (s *Server) runSection(w http.ResponseWriter, r *http.Request, req runReque
 	if !ok {
 		s.runsErr.Add(1)
 		writeError(w, http.StatusNotFound, "unknown section %q (have %v)", req.Section, s.SectionNames())
+		return
+	}
+	if req.Perturb != "" || req.Schedule != nil {
+		// Native sections run on the host, not the simulated machine;
+		// there is no parameter table to perturb.
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "perturbation applies to simulated OBL runs only, not native sections")
 		return
 	}
 	iters := req.Iters
@@ -440,6 +499,34 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 			policy, oblc.Policies())
 		return
 	}
+	var sched *perturb.Schedule
+	perturbName := ""
+	switch {
+	case req.Perturb != "" && req.Schedule != nil:
+		s.runsErr.Add(1)
+		writeError(w, http.StatusBadRequest, "set at most one of \"perturb\" and \"schedule\"")
+		return
+	case req.Perturb != "":
+		var ok bool
+		if sched, ok = perturb.Scenario(req.Perturb); !ok {
+			s.runsErr.Add(1)
+			writeError(w, http.StatusBadRequest, "unknown perturbation scenario %q (have %v)",
+				req.Perturb, perturb.ScenarioNames())
+			return
+		}
+		perturbName = req.Perturb
+	case req.Schedule != nil:
+		if err := req.Schedule.Validate(); err != nil {
+			s.runsErr.Add(1)
+			writeError(w, http.StatusBadRequest, "bad perturbation schedule: %v", err)
+			return
+		}
+		sched = req.Schedule
+		perturbName = "custom"
+		if req.Schedule.Name != "" {
+			perturbName = req.Schedule.Name
+		}
+	}
 	// Serve the fast test-scale inputs by default; clients override
 	// individual program parameters (integers) through params.
 	params := apps.TestParams(req.App)
@@ -466,6 +553,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		TargetSampling:   simmach.Time(s.cfg.TargetSampling),
 		TargetProduction: simmach.Time(s.cfg.TargetProduction),
 		Params:           params,
+		Perturb:          sched,
 	}
 	if policy == "serial" {
 		prog = c.Serial
@@ -496,31 +584,45 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 	wall := time.Since(start)
 
 	type appSectionJSON struct {
-		Name       string   `json:"name"`
-		Iterations int64    `json:"iterations"`
-		Versions   []string `json:"versions"`
-		Chosen     string   `json:"chosen"`
+		Name       string           `json:"name"`
+		Iterations int64            `json:"iterations"`
+		Versions   []string         `json:"versions"`
+		Chosen     string           `json:"chosen"`
+		Switches   []adaptEventJSON `json:"switches,omitempty"`
 	}
 	var sections []appSectionJSON
+	adapt := &adaptRecordJSON{App: req.App, Policy: policy, Procs: procs,
+		Perturb: perturbName, Sections: map[string][]adaptEventJSON{}}
 	for _, sec := range res.Sections {
 		chosen := ""
 		if sec.ChosenVersion >= 0 && sec.ChosenVersion < len(sec.VersionLabels) {
 			chosen = sec.VersionLabels[sec.ChosenVersion]
+		}
+		events := adaptEvents(sec)
+		if len(events) > 0 {
+			adapt.Sections[sec.Name] = events
 		}
 		sections = append(sections, appSectionJSON{
 			Name:       sec.Name,
 			Iterations: sec.Iterations,
 			Versions:   sec.VersionLabels,
 			Chosen:     chosen,
+			Switches:   events,
 		})
 	}
 	sort.Slice(sections, func(i, j int) bool { return sections[i].Name < sections[j].Name })
+	if len(adapt.Sections) > 0 {
+		s.adaptMu.Lock()
+		s.lastAdapt = adapt
+		s.adaptMu.Unlock()
+	}
 	s.runsOK.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"kind":            "obl",
 		"app":             req.App,
 		"policy":          policy,
 		"procs":           procs,
+		"perturb":         perturbName,
 		"cached":          cached,
 		"wall_ns":         wall.Nanoseconds(),
 		"virtual_ns":      int64(res.Time),

@@ -241,6 +241,69 @@ func TestRunOBLAppCached(t *testing.T) {
 	}
 }
 
+// TestRunOBLAppPerturbed exercises the perturbation path of /run: a named
+// scenario and an inline schedule both apply to the simulated machine (the
+// inline one changes the virtual outcome), the response labels the
+// schedule and reports per-section adaptation events, and /stats carries
+// the most recent run's events.
+func TestRunOBLAppPerturbed(t *testing.T) {
+	_, ts := testServer(t, nil)
+	base := `{"app":"water","procs":4,"policy":"dynamic"}`
+	status, plain := postRun(t, ts.URL, base)
+	if status != http.StatusOK {
+		t.Fatalf("base run: status %d: %v", status, plain)
+	}
+	if plain["perturb"] != "" {
+		t.Errorf("unperturbed run labeled %q", plain["perturb"])
+	}
+
+	status, named := postRun(t, ts.URL, `{"app":"water","procs":4,"policy":"dynamic","perturb":"crossover"}`)
+	if status != http.StatusOK {
+		t.Fatalf("named scenario run: status %d: %v", status, named)
+	}
+	if named["perturb"] != "crossover" {
+		t.Errorf("scenario label = %v, want crossover", named["perturb"])
+	}
+
+	// An aggressive step at 1ms: 20x acquire/release cost must move the
+	// virtual outcome of the same program.
+	inline := `{"app":"water","procs":4,"policy":"dynamic","schedule":{"changes":[{"at_ns":1000000,"acquire_milli":20000,"release_milli":20000}]}}`
+	status, custom := postRun(t, ts.URL, inline)
+	if status != http.StatusOK {
+		t.Fatalf("inline schedule run: status %d: %v", status, custom)
+	}
+	if custom["perturb"] != "custom" {
+		t.Errorf("inline schedule label = %v, want custom", custom["perturb"])
+	}
+	if custom["virtual_ns"] == plain["virtual_ns"] {
+		t.Errorf("perturbed run reported the unperturbed virtual time %v", plain["virtual_ns"])
+	}
+
+	// Dynamic runs report their controller's adaptation events per section.
+	sections, ok := custom["sections"].([]any)
+	if !ok || len(sections) == 0 {
+		t.Fatalf("no per-section report: %v", custom)
+	}
+	events := 0
+	for _, raw := range sections {
+		sec := raw.(map[string]any)
+		if sw, ok := sec["switches"].([]any); ok {
+			events += len(sw)
+		}
+	}
+	if events == 0 {
+		t.Errorf("dynamic run reported no adaptation events: %v", custom)
+	}
+
+	var live struct {
+		Adaptations *adaptRecordJSON `json:"adaptations"`
+	}
+	getJSON(t, ts.URL+"/stats", &live)
+	if live.Adaptations == nil || live.Adaptations.App != "water" || len(live.Adaptations.Sections) == 0 {
+		t.Errorf("/stats adaptations = %+v", live.Adaptations)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	_, ts := testServer(t, nil)
 	cases := []struct {
@@ -258,6 +321,10 @@ func TestRunValidation(t *testing.T) {
 		{`{"app":"water","policy":"nope"}`, http.StatusBadRequest},
 		{`{"app":"water","params":{"nmol":1.5}}`, http.StatusBadRequest},
 		{`{"unknown_field":1}`, http.StatusBadRequest},
+		{`{"section":"sort","perturb":"crossover"}`, http.StatusBadRequest},
+		{`{"app":"water","perturb":"nope"}`, http.StatusBadRequest},
+		{`{"app":"water","perturb":"crossover","schedule":{"changes":[]}}`, http.StatusBadRequest},
+		{`{"app":"water","schedule":{"changes":[{"at_ns":0,"acquire_milli":2000}]}}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		status, out := postRun(t, ts.URL, c.body)

@@ -36,6 +36,52 @@ func BenchmarkDispatch1(b *testing.B)  { benchDispatch(b, 1) }
 func BenchmarkDispatch2(b *testing.B)  { benchDispatch(b, 2) }
 func BenchmarkDispatch16(b *testing.B) { benchDispatch(b, 16) }
 
+// benchPerturbedDispatch is benchDispatch with a multi-epoch parameter
+// table installed — slowdown factors and phantom contention active — so the
+// epoch-cursor lookup sits on the hot path. It must stay allocation free.
+func benchPerturbedDispatch(b *testing.B, procs int) {
+	m := New(Config{Procs: procs})
+	base := DefaultConfig(procs)
+	slow := make([]int64, procs)
+	for i := range slow {
+		slow[i] = 1000 + 500*int64(i%3)
+	}
+	epochs := []ParamEpoch{{Start: 0, Cfg: base}}
+	for k := 1; k <= 7; k++ {
+		epochs = append(epochs, ParamEpoch{
+			Start: Time(k) * Millisecond, Cfg: base,
+			SlowMilli: slow, HoldEvery: 64, HoldFor: 5 * Microsecond,
+		})
+	}
+	tbl, err := NewParamTable(epochs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetParamTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		n := 0
+		d := Time(i+1) * Microsecond
+		m.Start(i, ProcessFunc(func(p *Proc) Status {
+			if n >= per {
+				return Done
+			}
+			n++
+			p.Advance(d)
+			return Ready
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPerturbedDispatch16(b *testing.B) { benchPerturbedDispatch(b, 16) }
+
 func BenchmarkUncontendedAcquireRelease(b *testing.B) {
 	m := New(Config{Procs: 1})
 	l := m.NewLock("l")
@@ -139,6 +185,7 @@ func TestSteadyStateAllocsPerEvent(t *testing.T) {
 		bench func(b *testing.B)
 	}{
 		{"dispatch-16", func(b *testing.B) { benchDispatch(b, 16) }},
+		{"dispatch-perturbed-16", func(b *testing.B) { benchPerturbedDispatch(b, 16) }},
 		{"contended-handoff-16", func(b *testing.B) { benchContendedHandoff(b, 16) }},
 		{"barrier-rendezvous-16", func(b *testing.B) { benchBarrier(b, 16) }},
 		{"uncontended", BenchmarkUncontendedAcquireRelease},

@@ -1,0 +1,257 @@
+package simmach
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustTable(t *testing.T, epochs []ParamEpoch) *ParamTable {
+	t.Helper()
+	tbl, err := NewParamTable(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func installTable(t *testing.T, m *Machine, epochs []ParamEpoch) {
+	t.Helper()
+	if err := m.SetParamTable(mustTable(t, epochs)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamTableValidation(t *testing.T) {
+	base := DefaultConfig(2)
+	bad := []struct {
+		name   string
+		epochs []ParamEpoch
+	}{
+		{"empty", nil},
+		{"nonzero first start", []ParamEpoch{{Start: Millisecond, Cfg: base}}},
+		{"non-increasing starts", []ParamEpoch{{Cfg: base}, {Start: Millisecond, Cfg: base}, {Start: Millisecond, Cfg: base}}},
+		{"zero procs", []ParamEpoch{{Cfg: Config{}}}},
+		{"procs mismatch across epochs", []ParamEpoch{{Cfg: base}, {Start: Millisecond, Cfg: DefaultConfig(3)}}},
+		{"non-positive cost", []ParamEpoch{{Cfg: Config{Procs: 2, TimerReadCost: 1, AcquireCost: 1, ReleaseCost: 1, SpinCost: 1}}}},
+		{"slow length mismatch", []ParamEpoch{{Cfg: base, SlowMilli: []int64{1000}}}},
+		{"slow factor below one", []ParamEpoch{{Cfg: base, SlowMilli: []int64{1000, 0}}}},
+		{"negative hold every", []ParamEpoch{{Cfg: base, HoldEvery: -1}}},
+		{"hold every without hold for", []ParamEpoch{{Cfg: base, HoldEvery: 4}}},
+	}
+	for _, c := range bad {
+		if _, err := NewParamTable(c.epochs); err == nil {
+			t.Errorf("%s: NewParamTable accepted invalid epochs", c.name)
+		}
+	}
+	if _, err := NewParamTable([]ParamEpoch{{Cfg: base}, {Start: Millisecond, Cfg: base, HoldEvery: 2, HoldFor: Microsecond}}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+
+	m := New(Config{Procs: 4})
+	if err := m.SetParamTable(mustTable(t, []ParamEpoch{{Cfg: base}})); err == nil {
+		t.Error("SetParamTable accepted a table with mismatched proc count")
+	}
+}
+
+// TestParamTableStepChangesLockCosts pins the core tentpole semantics: the
+// cost model charged for a synchronization operation is the one in effect
+// at the acting processor's virtual clock, not the machine's base config.
+func TestParamTableStepChangesLockCosts(t *testing.T) {
+	base := DefaultConfig(1)
+	hot := base
+	hot.AcquireCost = 10 * Microsecond
+	hot.ReleaseCost = 8 * Microsecond
+	m := New(Config{Procs: 1})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: base},
+		{Start: Millisecond, Cfg: hot},
+	})
+	l := m.NewLock("l")
+	m.Start(0, &scriptProc{steps: []func(*Proc) Status{
+		acquire(l), release(l),
+		compute(2 * Millisecond),
+		acquire(l), release(l),
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := base.AcquireCost + base.ReleaseCost + hot.AcquireCost + hot.ReleaseCost
+	if got := m.Proc(0).Counters.LockTime; got != want {
+		t.Errorf("LockTime = %v, want %v", got, want)
+	}
+}
+
+func TestParamTableSlowdownScalesCompute(t *testing.T) {
+	base := DefaultConfig(2)
+	m := New(Config{Procs: 2})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: base},
+		{Start: Millisecond, Cfg: base, SlowMilli: []int64{1000, 3000}},
+	})
+	for i := 0; i < 2; i++ {
+		m.Start(i, &scriptProc{steps: []func(*Proc) Status{
+			compute(Millisecond), compute(Millisecond),
+		}})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0 is never slowed; proc 1's second advance starts inside the
+	// slowdown epoch and is scaled 3×.
+	if got := m.Proc(0).Now(); got != 2*Millisecond {
+		t.Errorf("proc 0 clock = %v, want 2ms", got)
+	}
+	if got := m.Proc(1).Now(); got != 4*Millisecond {
+		t.Errorf("proc 1 clock = %v, want 4ms", got)
+	}
+}
+
+func TestPhantomHolderInjectsContention(t *testing.T) {
+	base := DefaultConfig(1)
+	m := New(Config{Procs: 1})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: base, HoldEvery: 2, HoldFor: 5 * Microsecond},
+	})
+	l := m.NewLock("l")
+	var steps []func(*Proc) Status
+	for i := 0; i < 4; i++ {
+		steps = append(steps, acquire(l), release(l))
+	}
+	m.Start(0, &scriptProc{steps: steps})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Proc(0).Counters
+	// Acquires 2 and 4 hit the phantom holder: each spins 5µs, counted as
+	// 5µs/SpinCost failed attempts.
+	if c.Acquires != 4 {
+		t.Errorf("Acquires = %d, want 4", c.Acquires)
+	}
+	if want := 10 * Microsecond; c.WaitTime != want {
+		t.Errorf("WaitTime = %v, want %v", c.WaitTime, want)
+	}
+	if want := int64(2 * (5 * Microsecond / base.SpinCost)); c.FailedAcquires != want {
+		t.Errorf("FailedAcquires = %d, want %d", c.FailedAcquires, want)
+	}
+}
+
+// TestParamTableHandoffUsesEpochAtHandoff checks that a waiter blocked in
+// one epoch but granted the lock in a later one is charged the later
+// epoch's acquire cost: the spin resolves at handoff time.
+func TestParamTableHandoffUsesEpochAtHandoff(t *testing.T) {
+	base := DefaultConfig(2)
+	hot := base
+	hot.AcquireCost = 10 * Microsecond
+	hot.ReleaseCost = 8 * Microsecond
+	m := New(Config{Procs: 2})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: base},
+		{Start: Millisecond, Cfg: hot},
+	})
+	l := m.NewLock("l")
+	m.Start(0, &scriptProc{steps: []func(*Proc) Status{
+		acquire(l),
+		compute(2 * Millisecond),
+		release(l),
+	}})
+	m.Start(1, &scriptProc{steps: []func(*Proc) Status{
+		compute(10 * Microsecond),
+		acquire(l),
+		release(l),
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0: acquire in epoch 0, release in epoch 1. Proc 1: blocked in
+	// epoch 0, handed the lock (and charged acquire) in epoch 1, releases
+	// in epoch 1.
+	if got, want := m.Proc(0).Counters.LockTime, base.AcquireCost+hot.ReleaseCost; got != want {
+		t.Errorf("holder LockTime = %v, want %v", got, want)
+	}
+	if got, want := m.Proc(1).Counters.LockTime, hot.AcquireCost+hot.ReleaseCost; got != want {
+		t.Errorf("waiter LockTime = %v, want %v", got, want)
+	}
+}
+
+func TestParamTableBarrierCostAtRendezvous(t *testing.T) {
+	base := DefaultConfig(2)
+	hot := base
+	hot.BarrierCost = 50 * Microsecond
+	m := New(Config{Procs: 2})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: base},
+		{Start: Millisecond, Cfg: hot},
+	})
+	b := m.NewBarrier(2)
+	m.Start(0, &scriptProc{steps: []func(*Proc) Status{compute(2 * Millisecond), arrive(b)}})
+	m.Start(1, &scriptProc{steps: []func(*Proc) Status{compute(3 * Millisecond), arrive(b)}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 3*Millisecond + hot.BarrierCost
+	for i := 0; i < 2; i++ {
+		if got := m.Proc(i).Now(); got != want {
+			t.Errorf("proc %d clock = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestDeadlockReportIncludesPerturbState checks the failure-report
+// extension: when a parameter table is installed, deadlock reports name
+// the active epoch and its injected contention.
+func TestDeadlockReportIncludesPerturbState(t *testing.T) {
+	m := New(Config{Procs: 2})
+	installTable(t, m, []ParamEpoch{
+		{Start: 0, Cfg: DefaultConfig(2), HoldEvery: 3, HoldFor: 2 * Microsecond},
+	})
+	b := m.NewBarrier(2)
+	m.Start(0, &scriptProc{steps: []func(*Proc) Status{arrive(b)}})
+	m.Start(1, &scriptProc{steps: []func(*Proc) Status{compute(Millisecond)}})
+	err := m.Run()
+	if err == nil {
+		t.Fatal("Run() = nil error, want deadlock")
+	}
+	msg := err.Error()
+	if want := "barrier 0: 1/2 arrived, waiting procs [0]"; !strings.Contains(msg, want) {
+		t.Errorf("deadlock report %q does not include barrier state %q", msg, want)
+	}
+	if want := "perturb epoch 0/1"; !strings.Contains(msg, want) {
+		t.Errorf("deadlock report %q does not include perturbation state %q", msg, want)
+	}
+	if want := "phantom holder every 3 acquires"; !strings.Contains(msg, want) {
+		t.Errorf("deadlock report %q does not name the injected contention %q", msg, want)
+	}
+}
+
+// TestParamTableNilMatchesBase pins that installing no table (or removing
+// one) leaves behavior identical to the base machine — the nil-table hot
+// path must stay byte-for-byte compatible with the committed goldens.
+func TestParamTableNilMatchesBase(t *testing.T) {
+	run := func(install bool) (Time, Counters) {
+		m := New(Config{Procs: 2})
+		if install {
+			installTable(t, m, []ParamEpoch{{Start: 0, Cfg: DefaultConfig(2)}})
+			if err := m.SetParamTable(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l := m.NewLock("l")
+		b := m.NewBarrier(2)
+		for i := 0; i < 2; i++ {
+			m.Start(i, &scriptProc{steps: []func(*Proc) Status{
+				compute(Time(i+1) * Millisecond),
+				acquire(l), compute(500 * Microsecond), release(l),
+				arrive(b),
+			}})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.MaxClock(), m.TotalCounters()
+	}
+	clockA, countA := run(false)
+	clockB, countB := run(true)
+	if clockA != clockB || countA != countB {
+		t.Errorf("nil-table run diverged: clock %v vs %v, counters %+v vs %+v", clockA, clockB, countA, countB)
+	}
+}

@@ -221,6 +221,10 @@ type Proc struct {
 	// map and the interface boxing of container/heap from the scheduler's
 	// hot path.
 	heapIdx int32
+	// epoch is the processor's cursor into the machine's parameter table
+	// (amortized-O(1) lookup of the epoch containing the clock). Unused
+	// when no table is installed.
+	epoch int32
 
 	// Counters holds the processor's instrumentation. Clients may snapshot
 	// it at phase boundaries; the machine only ever adds to it.
@@ -237,19 +241,29 @@ func (p *Proc) Now() Time { return p.clock }
 // Machine returns the machine this processor belongs to.
 func (p *Proc) Machine() *Machine { return p.m }
 
-// Advance charges d of pure computation to the processor.
+// Advance charges d of pure computation to the processor. When a parameter
+// table with a slowdown factor for this processor is active, the charged
+// time is scaled accordingly (integer milli arithmetic, so perturbed runs
+// stay deterministic).
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("simmach: negative advance")
+	}
+	if e := p.activeEpoch(); e != nil && e.SlowMilli != nil {
+		d = d * Time(e.SlowMilli[p.id]) / 1000
 	}
 	p.clock += d
 	p.Counters.Busy += d
 }
 
 // ReadTimer models reading the hardware timer: it charges the configured
-// timer cost and returns the clock value after the read completes.
+// timer cost and returns the clock value after the read completes. The
+// timer itself is not slowed by per-processor slowdown factors — it is a
+// fixed hardware cost — so the charge bypasses Advance.
 func (p *Proc) ReadTimer() Time {
-	p.Advance(p.m.cfg.TimerReadCost)
+	c := p.activeCfg().TimerReadCost
+	p.clock += c
+	p.Counters.Busy += c
 	p.Counters.TimerReads++
 	return p.clock
 }
@@ -311,6 +325,12 @@ type Machine struct {
 	nextLck  int
 	steps    int64
 	running  bool
+	// table, when non-nil, is the time-indexed parameter table every cost
+	// charge consults (see paramtable.go). acqSeq counts uncontended
+	// acquires made while a phantom-holder epoch is active; it drives the
+	// deterministic every-Nth contention injection.
+	table  *ParamTable
+	acqSeq int64
 
 	// Trace, when set, receives every synchronization event as it occurs
 	// in virtual time. It must not call back into the machine.
@@ -467,6 +487,9 @@ func (m *Machine) stateString() string {
 		}
 		fmt.Fprintf(&b, "barrier %d: %d/%d arrived, waiting procs %v; ", i, bar.count, bar.n, bar.waitingIDs())
 	}
+	if ps := m.PerturbState(); ps != "" {
+		fmt.Fprintf(&b, "%s; ", ps)
+	}
 	return strings.TrimSuffix(b.String(), "; ")
 }
 
@@ -581,8 +604,8 @@ func (h *procHeap) down(i int) {
 // is retained across rendezvous, so steady-state lock traffic allocates
 // nothing.
 type Lock struct {
-	m    *Machine
-	name string
+	m     *Machine
+	name  string
 	owner int // processor ID, or -1 when free
 	// waiters[whead:] is the active queue; the prefix is already handed
 	// off. The array is reset (keeping capacity) whenever it drains.
@@ -626,8 +649,28 @@ func (p *Proc) Acquire(l *Lock) bool {
 		panic(fmt.Sprintf("simmach: proc %d re-acquiring lock %q", p.id, l.name))
 	}
 	if l.owner < 0 {
+		cfg := &p.m.cfg
+		if e := p.activeEpoch(); e != nil {
+			cfg = &e.Cfg
+			if e.HoldEvery > 0 {
+				p.m.acqSeq++
+				if p.m.acqSeq%e.HoldEvery == 0 {
+					// A phantom background holder has the lock: spin until it
+					// releases, charged exactly like a real contended wait.
+					d := e.HoldFor
+					fails := int64(d / cfg.SpinCost)
+					if fails < 1 {
+						fails = 1
+					}
+					p.clock += d
+					p.Counters.Busy += d
+					p.Counters.WaitTime += d
+					p.Counters.FailedAcquires += fails
+				}
+			}
+		}
 		l.owner = p.id
-		c := p.m.cfg.AcquireCost
+		c := cfg.AcquireCost
 		p.clock += c
 		p.Counters.Busy += c
 		p.Counters.LockTime += c
@@ -665,7 +708,7 @@ func (p *Proc) TryAcquire(l *Lock) bool {
 	if l.owner < 0 {
 		return p.Acquire(l)
 	}
-	c := p.m.cfg.SpinCost
+	c := p.activeCfg().SpinCost
 	p.clock += c
 	p.Counters.Busy += c
 	p.Counters.WaitTime += c
@@ -679,7 +722,7 @@ func (p *Proc) Release(l *Lock) {
 	if l.owner != p.id {
 		panic(fmt.Sprintf("simmach: proc %d releasing lock %q owned by %d", p.id, l.name, l.owner))
 	}
-	c := p.m.cfg.ReleaseCost
+	c := p.activeCfg().ReleaseCost
 	p.clock += c
 	p.Counters.Busy += c
 	p.Counters.LockTime += c
@@ -719,17 +762,20 @@ func (p *Proc) Release(l *Lock) {
 	if waited < 0 {
 		waited = 0
 	}
-	spin := p.m.cfg.SpinCost
-	fails := int64(waited / spin)
+	wp.clock = releaseTime
+	// The waiter's costs (spin granularity and the closing acquire) come
+	// from the epoch in effect at the handoff time — the moment the spin
+	// resolves — not at the possibly much earlier block time.
+	wcfg := wp.activeCfg()
+	fails := int64(waited / wcfg.SpinCost)
 	if fails < 1 {
 		fails = 1
 	}
-	wp.clock = releaseTime
 	wp.Counters.Busy += waited
 	wp.Counters.WaitTime += waited
 	wp.Counters.FailedAcquires += fails
 	// Charge the successful acquire that ends the spin.
-	ac := p.m.cfg.AcquireCost
+	ac := wcfg.AcquireCost
 	wp.clock += ac
 	wp.Counters.Busy += ac
 	wp.Counters.LockTime += ac
@@ -829,7 +875,7 @@ func (p *Proc) BarrierArrive(b *Barrier) {
 	if b.OnComplete != nil {
 		b.OnComplete(last)
 	}
-	release := last + b.m.cfg.BarrierCost
+	release := last + b.m.cfgAt(last).BarrierCost
 	// The per-ID arrays are naturally ID-ordered, so waking in ID order —
 	// the determinism requirement — needs no sort.
 	for id, e := range b.arrivedEpoch {
