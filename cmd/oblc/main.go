@@ -7,10 +7,23 @@
 //
 //	oblc [flags] file.obl
 //	oblc [flags] -app barneshut|water|string
+//	oblc vet [-json] [-sarif report.sarif] file.obl... | -app name | -all
 //
 // Flags select the outputs: -analysis, -policy original|bounded|aggressive,
 // -ir, -sizes, -sections. With no output flags, -analysis and -sections are
-// printed.
+// printed. -json reports front-end diagnostics as JSON on stdout instead of
+// prose on stderr.
+//
+// The vet subcommand runs the static safety analyzer (package
+// internal/obl/analysis) over one or more programs: lock-coverage
+// translation validation of every synchronization policy, sync-stripped
+// equivalence checking, and the lint checkers. -all covers the bundled
+// applications, examples/*.obl, and the complete-program listings of
+// docs/obl.md — the CI gate.
+//
+// Exit codes, for both modes: 0 success (vet: no warning-or-worse
+// diagnostics), 1 diagnostics found (compile errors, or vet findings at
+// warning or error severity), 2 usage or internal errors.
 package main
 
 import (
@@ -20,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/obl/analysis"
 	"repro/internal/obl/ast"
 	"repro/internal/obl/ir"
 	"repro/internal/obl/syncopt"
@@ -27,6 +41,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	app := flag.String("app", "", "compile a bundled application (barneshut, water, string)")
 	showAnalysis := flag.Bool("analysis", false, "print commutativity analysis results")
 	policy := flag.String("policy", "", "print the program transformed under a policy (original, bounded, aggressive, flagged)")
@@ -34,6 +51,7 @@ func main() {
 	showSizes := flag.Bool("sizes", false, "print the Table 1 code-size accounting")
 	showSections := flag.Bool("sections", false, "print the parallel sections and their versions")
 	showEffects := flag.Bool("effects", false, "print per-operation effect summaries (commutativity evidence)")
+	asJSON := flag.Bool("json", false, "report front-end diagnostics as JSON on stdout")
 	flag.Parse()
 
 	var src string
@@ -58,6 +76,17 @@ func main() {
 
 	c, err := oblc.Compile(src)
 	if err != nil {
+		if *asJSON {
+			diags := analysis.FrontendDiagnostics(src)
+			if len(diags) == 0 {
+				// The pipeline failed past the front end; surface the raw error.
+				fatal(err)
+			}
+			if jerr := analysis.RenderJSON(os.Stdout, diags); jerr != nil {
+				fatal(jerr)
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	anything := *showAnalysis || *policy != "" || *showIR || *showSizes || *showSections || *showEffects

@@ -10,6 +10,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"repro/internal/interp"
@@ -19,45 +20,11 @@ import (
 )
 
 // figure1 is the paper's Figure 1 program in OBL: bodies accumulate
-// pairwise interactions under per-object locks.
-const figure1 = `
-extern interact(a: float, b: float): float cost 9000;
-param nbodies: int = 96;
-
-class Body {
-  pos: float;
-  sum: float;
-  method one_interaction(b: Body) {
-    let val: float = interact(this.pos, b.pos);
-    this.sum = this.sum + val;
-  }
-  method interactions(bs: Body[], n: int) {
-    for i in 0..n {
-      this.one_interaction(bs[i]);
-    }
-  }
-}
-
-func forces(bodies: Body[], n: int) {
-  for i in 0..n {
-    bodies[i].interactions(bodies, n);
-  }
-}
-
-func main() {
-  let bodies: Body[] = new Body[nbodies];
-  for i in 0..nbodies {
-    bodies[i] = new Body();
-    bodies[i].pos = tofloat(i) * 0.125;
-  }
-  forces(bodies, nbodies);
-  let s: float = 0.0;
-  for i in 0..nbodies {
-    s = s + bodies[i].sum;
-  }
-  print s;
-}
-`
+// pairwise interactions under per-object locks. It lives in its own .obl
+// file so oblc vet covers it alongside the other bundled programs.
+//
+//go:embed figure1.obl
+var figure1 string
 
 func main() {
 	c, err := oblc.Compile(figure1)

@@ -60,8 +60,14 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			fr.pc++
 			t.executed++
 			if in.Op == ir.OpRelease || in.Op == ir.OpReleaseIf {
+				if rt.race != nil {
+					t.unhold(lock)
+				}
 				p.Release(lock)
 				continue
+			}
+			if rt.race != nil {
+				t.held = append(t.held, lock)
 			}
 			if !p.Acquire(lock) {
 				// Blocked; the lock is granted on wake and execution
@@ -223,9 +229,15 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			regs[in.Dst] = RefVal(&Object{Elems: elems})
 		case ir.OpLoadField:
 			obj := t.ref(fr, in.A)
+			if rt.race != nil && t.sr != nil {
+				rt.race.access(t.held, p, obj, int(in.Imm), false, false)
+			}
 			regs[in.Dst] = obj.Fields[in.Imm]
 		case ir.OpStoreField:
 			obj := t.ref(fr, in.A)
+			if rt.race != nil && t.sr != nil {
+				rt.race.access(t.held, p, obj, int(in.Imm), false, true)
+			}
 			obj.Fields[in.Imm] = regs[in.B]
 		case ir.OpLoadIndex:
 			obj := t.ref(fr, in.A)
@@ -233,12 +245,18 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			if i < 0 || i >= int64(len(obj.Elems)) {
 				rt.fail("%s: index %d out of range [0,%d)", fr.fn.Name, i, len(obj.Elems))
 			}
+			if rt.race != nil && t.sr != nil {
+				rt.race.access(t.held, p, obj, int(i), true, false)
+			}
 			regs[in.Dst] = obj.Elems[i]
 		case ir.OpStoreIndex:
 			obj := t.ref(fr, in.A)
 			i := regs[in.B].I
 			if i < 0 || i >= int64(len(obj.Elems)) {
 				rt.fail("%s: index %d out of range [0,%d)", fr.fn.Name, i, len(obj.Elems))
+			}
+			if rt.race != nil && t.sr != nil {
+				rt.race.access(t.held, p, obj, int(i), true, true)
 			}
 			obj.Elems[i] = regs[in.C]
 		case ir.OpLen:

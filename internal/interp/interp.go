@@ -86,6 +86,12 @@ type Options struct {
 	InstrumentationCost simmach.Time
 	// MaxSteps aborts runaway executions. Default 2e9 scheduler steps.
 	MaxSteps int64
+	// DetectRaces enables the Eraser-style dynamic race detector over
+	// field and element accesses inside parallel sections (see race.go);
+	// findings are returned in Result.Races. Off by default: detection
+	// allocates tracking state and is meant for the differential testing
+	// harness, not for measurement runs.
+	DetectRaces bool
 	// Trace, when set, receives every synchronization event of the
 	// simulated machine (lock acquires, blocks, grants, releases, barrier
 	// traffic) in virtual-time order.
@@ -183,6 +189,9 @@ type Result struct {
 	Output   []string
 	Sections []*SectionStats
 	Steps    int64
+	// Races holds the dynamic race detector's findings (only when
+	// Options.DetectRaces was set).
+	Races []RaceReport
 }
 
 // runtimeErr aborts execution through the scheduler.
@@ -261,6 +270,9 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		controllers: map[int]*core.Controller{},
 		stats:       map[int]*SectionStats{},
 	}
+	if opts.DetectRaces {
+		rt.race = newRaceDetector()
+	}
 	if !opts.Perturb.Empty() {
 		tbl, err := opts.Perturb.Table(mcfg.Normalized())
 		if err != nil {
@@ -310,6 +322,9 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		Counters: rt.m.TotalCounters(),
 		Output:   rt.output,
 		Steps:    rt.m.Steps(),
+	}
+	if rt.race != nil {
+		res.Races = rt.race.reports
 	}
 	for _, sec := range p.Sections {
 		st, ok := rt.stats[sec.ID]
@@ -362,6 +377,8 @@ type runtime struct {
 	// each parallel section resets and restarts them, so frame and operand
 	// storage is allocated once per run instead of once per section.
 	workers []*task
+	// race is the dynamic race detector, nil unless Options.DetectRaces.
+	race *raceDetector
 }
 
 func (rt *runtime) fail(format string, args ...any) {
@@ -529,6 +546,11 @@ type task struct {
 	// extArgs is scratch storage for extern-call arguments, reused across
 	// calls (intrinsics never retain their argument slice).
 	extArgs []Value
+	// held is the task's current lock nest, maintained only when the race
+	// detector is enabled. A lock is recorded before a (possibly blocking)
+	// Acquire: a blocked processor executes nothing until it wakes already
+	// owning the lock, so the early entry is never observed unheld.
+	held []*simmach.Lock
 }
 
 func (t *task) flush(p *simmach.Proc) {
@@ -597,6 +619,7 @@ func (t *task) reset(sr *sectionRun) {
 	t.baseFrames = 0
 	t.wphase = wClaim
 	t.executed = 0
+	t.held = t.held[:0]
 }
 
 // Step implements simmach.Process.
@@ -730,6 +753,9 @@ func (t *task) enterSection(p *simmach.Proc, fr *frame, in ir.Instr) {
 		sr.versionIdx = sec.PolicyVersion[rt.opts.Policy]
 	}
 	sr.stats.ChosenVersion = sr.versionIdx
+	if rt.race != nil {
+		rt.race.enterSection(sec.Name)
+	}
 	rt.barrier.OnComplete = sr.onBarrierComplete
 	if rt.workers == nil {
 		rt.workers = make([]*task, rt.opts.Procs)

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"repro/internal/obl/ast"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	// NodeEntry is the unique function entry.
+	NodeEntry NodeKind = iota
+	// NodeExit is the unique function exit; return statements and falling
+	// off the end both edge here.
+	NodeExit
+	// NodeStmt is a leaf statement (let, assign, expression, print,
+	// return).
+	NodeStmt
+	// NodeCond is a branch condition (if, while, for range test).
+	NodeCond
+	// NodeAcquire enters a critical region (a SyncBlock's acquire
+	// construct).
+	NodeAcquire
+	// NodeRelease leaves a critical region (the matching release).
+	NodeRelease
+	// NodeJoin is a synthetic merge point.
+	NodeJoin
+)
+
+// Node is one CFG node.
+type Node struct {
+	Index int
+	Kind  NodeKind
+	// Stmt is the statement this node represents: the leaf statement for
+	// NodeStmt, the branching statement for NodeCond, and the SyncBlock
+	// for NodeAcquire/NodeRelease. Nil for entry/exit/join.
+	Stmt ast.Stmt
+	// Sync is the region for NodeAcquire/NodeRelease nodes.
+	Sync *ast.SyncBlock
+	// Succs and Preds are node indices.
+	Succs, Preds []int
+}
+
+// CFG is the control-flow graph of one function body (or loop body).
+type CFG struct {
+	Nodes []*Node
+	Entry int
+	Exit  int
+	// StmtNode maps each leaf statement to its node index (branching
+	// statements map to their condition node).
+	StmtNode map[ast.Stmt]int
+}
+
+// BuildCFG constructs the control-flow graph of a statement block.
+// SyncBlocks become explicit acquire and release nodes around their body,
+// so lock lifetimes are visible to dataflow analyses; a return inside a
+// region edges to Exit without passing the release node, which is exactly
+// what the lock-leak checker looks for.
+func BuildCFG(body *ast.Block) *CFG {
+	b := &cfgBuilder{g: &CFG{StmtNode: map[ast.Stmt]int{}}}
+	b.g.Entry = b.newNode(NodeEntry, nil)
+	b.g.Exit = b.newNode(NodeExit, nil)
+	last := b.block(body, b.g.Entry)
+	if last >= 0 {
+		b.edge(last, b.g.Exit)
+	}
+	return b.g
+}
+
+type cfgBuilder struct {
+	g *CFG
+}
+
+func (b *cfgBuilder) newNode(kind NodeKind, s ast.Stmt) int {
+	n := &Node{Index: len(b.g.Nodes), Kind: kind, Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n.Index
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	b.g.Nodes[from].Succs = append(b.g.Nodes[from].Succs, to)
+	b.g.Nodes[to].Preds = append(b.g.Nodes[to].Preds, from)
+}
+
+// block threads the statements of a block after node prev; it returns the
+// last node with a fallthrough edge, or -1 when control cannot fall out
+// (every path returned).
+func (b *cfgBuilder) block(blk *ast.Block, prev int) int {
+	cur := prev
+	for _, s := range blk.Stmts {
+		if cur < 0 {
+			// Unreachable code still gets nodes (predecessor-less), so the
+			// reachability checker can report it.
+			cur = -2
+		}
+		cur = b.stmt(s, cur)
+	}
+	if cur == -2 {
+		return -1
+	}
+	return cur
+}
+
+// stmt adds the subgraph of one statement. prev is the fallthrough
+// predecessor (-2 for none: the statement is unreachable). Returns the
+// fallthrough node of the statement, or -1 if it never falls through.
+func (b *cfgBuilder) stmt(s ast.Stmt, prev int) int {
+	connect := func(n int) {
+		if prev >= 0 {
+			b.edge(prev, n)
+		}
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		join := b.newNode(NodeJoin, nil)
+		connect(join)
+		return b.block(s, join)
+	case *ast.ReturnStmt:
+		n := b.newNode(NodeStmt, s)
+		b.g.StmtNode[s] = n
+		connect(n)
+		b.edge(n, b.g.Exit)
+		return -1
+	case *ast.IfStmt:
+		cond := b.newNode(NodeCond, s)
+		b.g.StmtNode[s] = cond
+		connect(cond)
+		thenEnd := b.block(s.Then, cond)
+		elseEnd := cond
+		if s.Else != nil {
+			elseEnd = b.block(s.Else, cond)
+		}
+		if thenEnd < 0 && elseEnd < 0 {
+			return -1
+		}
+		join := b.newNode(NodeJoin, nil)
+		if thenEnd >= 0 {
+			b.edge(thenEnd, join)
+		}
+		if elseEnd >= 0 {
+			b.edge(elseEnd, join)
+		}
+		return join
+	case *ast.WhileStmt:
+		cond := b.newNode(NodeCond, s)
+		b.g.StmtNode[s] = cond
+		connect(cond)
+		bodyEnd := b.block(s.Body, cond)
+		if bodyEnd >= 0 {
+			b.edge(bodyEnd, cond)
+		}
+		return cond
+	case *ast.ForStmt:
+		cond := b.newNode(NodeCond, s)
+		b.g.StmtNode[s] = cond
+		connect(cond)
+		bodyEnd := b.block(s.Body, cond)
+		if bodyEnd >= 0 {
+			b.edge(bodyEnd, cond)
+		}
+		return cond
+	case *ast.SyncBlock:
+		acq := b.newNode(NodeAcquire, s)
+		b.g.Nodes[acq].Sync = s
+		b.g.StmtNode[s] = acq
+		connect(acq)
+		bodyEnd := b.block(s.Body, acq)
+		if bodyEnd < 0 {
+			// Every path inside the region returns: the release never
+			// executes but keep the node, predecessor-less, for shape.
+			rel := b.newNode(NodeRelease, s)
+			b.g.Nodes[rel].Sync = s
+			return -1
+		}
+		rel := b.newNode(NodeRelease, s)
+		b.g.Nodes[rel].Sync = s
+		b.edge(bodyEnd, rel)
+		return rel
+	default:
+		// Leaf statements: let, assign, expression, print.
+		n := b.newNode(NodeStmt, s)
+		b.g.StmtNode[s] = n
+		connect(n)
+		return n
+	}
+}
+
+// Reachable computes reachability from the entry node.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Nodes))
+	stack := []int{g.Entry}
+	seen[g.Entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Nodes[n].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

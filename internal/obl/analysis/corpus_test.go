@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obl/syncopt"
+)
+
+func policyByName(t *testing.T, name string) syncopt.Policy {
+	t.Helper()
+	for _, p := range syncopt.AllPolicies {
+		if string(p) == name {
+			return p
+		}
+	}
+	t.Fatalf("unknown policy %q", name)
+	return ""
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite the corpus golden files")
+
+// The golden corpus: every testdata/*.obl program is vetted (after applying
+// any seeded-bug mutations its directives request) and the rendered
+// diagnostics must match the checked-in .golden file byte for byte.
+//
+// Directives are line comments at the top of each program:
+//
+//	// vet:mutate <policy|flagged> <op> <n>   apply mutation op to region n
+//	//                                        of that variant before Validate
+//	// vet:expect <CODE>                      at least one diagnostic with
+//	//                                        this code must be produced
+//	// vet:clean                              no warning-or-worse diagnostics
+//	//                                        may be produced
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.obl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus too small: %d programs, want >= 10", len(files))
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".obl")
+		t.Run(name, func(t *testing.T) {
+			srcBytes, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			dir := parseDirectives(t, src)
+			diags := corpusVet(t, src, dir)
+
+			for _, code := range dir.expect {
+				found := false
+				for _, d := range diags {
+					if d.Code == code {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("expected a %s diagnostic, got %v", code, diags)
+				}
+			}
+			if dir.clean {
+				for _, d := range diags {
+					if d.Severity >= Warning {
+						t.Errorf("program marked clean, got %s", d)
+					}
+				}
+			}
+
+			var sb strings.Builder
+			if err := RenderText(&sb, diags); err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+			golden := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run Corpus -update): %v", err)
+			}
+			if got != string(wantBytes) {
+				t.Errorf("diagnostics changed.\n--- want\n%s--- got\n%s", wantBytes, got)
+			}
+		})
+	}
+}
+
+type corpusMutation struct {
+	variant string // a policy name or "flagged"
+	op      string
+	n       int
+}
+
+type corpusDirectives struct {
+	mutations []corpusMutation
+	expect    []string
+	clean     bool
+}
+
+func parseDirectives(t *testing.T, src string) corpusDirectives {
+	t.Helper()
+	var out corpusDirectives
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "//") {
+			continue
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		if !strings.HasPrefix(line, "vet:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, "vet:"))
+		if len(fields) == 0 {
+			t.Fatalf("empty vet: directive")
+		}
+		switch fields[0] {
+		case "mutate":
+			if len(fields) != 4 {
+				t.Fatalf("bad directive %q: want mutate <variant> <op> <n>", line)
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				t.Fatalf("bad directive %q: %v", line, err)
+			}
+			if _, ok := Mutations[fields[2]]; !ok {
+				t.Fatalf("bad directive %q: unknown mutation %q", line, fields[2])
+			}
+			out.mutations = append(out.mutations, corpusMutation{fields[1], fields[2], n})
+		case "expect":
+			if len(fields) != 2 {
+				t.Fatalf("bad directive %q: want expect <CODE>", line)
+			}
+			out.expect = append(out.expect, fields[1])
+		case "clean":
+			out.clean = true
+		default:
+			t.Fatalf("unknown vet: directive %q", line)
+		}
+	}
+	return out
+}
+
+func corpusVet(t *testing.T, src string, dir corpusDirectives) []Diagnostic {
+	t.Helper()
+	u, diags, err := BuildUnit(src)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if u == nil {
+		if len(dir.mutations) > 0 {
+			t.Fatalf("cannot mutate a program that does not build: %v", diags)
+		}
+		return diags
+	}
+	for _, m := range dir.mutations {
+		var prog = u.Flagged
+		if m.variant != "flagged" {
+			prog = u.PolicyProg(policyByName(t, m.variant))
+		}
+		if prog == nil {
+			t.Fatalf("no %q variant", m.variant)
+		}
+		if err := Mutations[m.op](prog, m.n); err != nil {
+			t.Fatalf("mutate %s %s %d: %v", m.variant, m.op, m.n, err)
+		}
+	}
+	return u.Validate()
+}

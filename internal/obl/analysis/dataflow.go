@@ -1,0 +1,61 @@
+package analysis
+
+// Lattice describes the abstract domain of a dataflow analysis.
+type Lattice[T any] interface {
+	// Top is the value of unreachable program points (the identity of Meet).
+	Top() T
+	// Meet combines the facts of two predecessors.
+	Meet(a, b T) T
+	// Equal reports whether two facts are the same (for termination).
+	Equal(a, b T) bool
+}
+
+// Transfer maps the fact entering a node to the fact leaving it.
+type Transfer[T any] func(n *Node, in T) T
+
+// Solve runs a forward worklist fixed-point iteration over the CFG and
+// returns the IN fact of every node. entry is the fact entering the Entry
+// node; nodes never reached from Entry keep Top.
+func Solve[T any](g *CFG, lat Lattice[T], entry T, tf Transfer[T]) []T {
+	in := make([]T, len(g.Nodes))
+	out := make([]T, len(g.Nodes))
+	hasOut := make([]bool, len(g.Nodes))
+	for i := range in {
+		in[i] = lat.Top()
+	}
+	in[g.Entry] = entry
+
+	work := []int{g.Entry}
+	queued := make([]bool, len(g.Nodes))
+	queued[g.Entry] = true
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		n := g.Nodes[idx]
+
+		cur := in[idx]
+		if idx != g.Entry {
+			cur = lat.Top()
+			for _, p := range n.Preds {
+				if hasOut[p] {
+					cur = lat.Meet(cur, out[p])
+				}
+			}
+			in[idx] = cur
+		}
+		next := tf(n, cur)
+		if hasOut[idx] && lat.Equal(out[idx], next) {
+			continue
+		}
+		out[idx] = next
+		hasOut[idx] = true
+		for _, s := range n.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/obl/ast"
+)
+
+func TestDebugDump(t *testing.T) {
+	if os.Getenv("DEBUG_DUMP") == "" {
+		t.Skip("set DEBUG_DUMP")
+	}
+	src, err := os.ReadFile(os.Getenv("DEBUG_DUMP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, diags, err := BuildUnit(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil {
+		t.Fatalf("no unit: %v", diags)
+	}
+	for _, pu := range u.Policies {
+		fmt.Println("=== policy", pu.Policy)
+		fmt.Println(ast.Print(pu.Prog))
+	}
+	for _, rep := range u.Reports {
+		fmt.Printf("loop in %s parallel=%v section=%q reason=%q\n", rep.Func, rep.Parallel, rep.Section, rep.Reason)
+	}
+}

@@ -1,0 +1,233 @@
+package analysis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/obl/analysis"
+	"repro/internal/obl/ir"
+	"repro/internal/obl/lower"
+	"repro/internal/obl/sema"
+	"repro/internal/obl/syncopt"
+	"repro/internal/simmach"
+	"repro/oblc"
+)
+
+// The differential harness ties the static analyzer to the dynamic
+// machine: a seeded lock-elision miscompilation of a real application must
+// be flagged by the lock-coverage checker (OBL-E100) *and* observed racy by
+// an actual execution on the simulated multiprocessor, with the missing
+// synchronization visible in the machine's sync-event trace. Conversely,
+// every shipped program must execute race-free under every policy.
+
+// diffParams shrinks each application so a differential run takes
+// milliseconds while still claiming iterations on all eight processors.
+var diffParams = map[string]map[string]int64{
+	apps.NameBarnesHut: {"nbodies": 64, "listlen": 8, "interwork": 500, "npasses": 1, "serialwork": 500},
+	apps.NameWater:     {"nmol": 32, "nsteps": 1, "energydepth": 1, "serialwork": 500},
+	apps.NameString:    {"gridside": 12, "nrays": 48, "pathlen": 12, "nrounds": 1, "serialwork": 500},
+}
+
+// TestShippedAppsRaceFree is the clean half of the harness: the three
+// applications, in the multi-version and the flag-dispatch builds, under
+// every static policy and under dynamic feedback, report no races.
+func TestShippedAppsRaceFree(t *testing.T) {
+	for _, name := range apps.Names {
+		src, err := apps.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := oblc.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policy := range []string{"original", "bounded", "aggressive", interp.PolicyDynamic} {
+			for _, build := range []struct {
+				label string
+				prog  *ir.Program
+			}{{"parallel", c.Parallel}, {"flagged", c.Flagged}} {
+				res, err := interp.Run(build.prog, interp.Options{
+					Procs: 8, Policy: policy, DetectRaces: true, Params: diffParams[name],
+				})
+				if err != nil {
+					t.Fatalf("%s %s/%s: %v", name, build.label, policy, err)
+				}
+				for _, r := range res.Races {
+					t.Errorf("%s %s/%s: %s", name, build.label, policy, r)
+				}
+			}
+		}
+	}
+}
+
+// elisionMutant seeds one lock elision into an application's Original
+// translation.
+type elisionMutant struct {
+	app     string
+	region  int    // collectRegions index in the Original policy program
+	section string // parallel section expected to race
+	object  string // class whose field loses its covering lock
+}
+
+// The mutants span both racy applications and distinct sharing patterns:
+// water's interf regions guard force updates of *other* molecules reached
+// through the pair list, poteng guards a single shared accumulator, and
+// string's backproject regions guard grid cells hit by crossing rays.
+// (Barnes-Hut elisions are flagged statically but do not race dynamically:
+// its force loop only writes per-iteration-owned bodies.)
+var elisionMutants = []elisionMutant{
+	{app: apps.NameWater, region: 0, section: "INTERF", object: "Mol"},
+	{app: apps.NameWater, region: 6, section: "POTENG", object: "Acc"},
+	{app: apps.NameString, region: 0, section: "BACKPROJECT", object: "Cell"},
+	{app: apps.NameString, region: 1, section: "BACKPROJECT", object: "Cell"},
+}
+
+// TestElisionMutantsFlaggedAndRacy is the seeded half: each mutant must be
+// flagged OBL-E100 by the static checker and race on the machine, and the
+// sync-event trace must show the elision — strictly fewer acquires of the
+// racy object's lock than the intact translation, with the racing
+// processor holding no lock on that object at the moment of the race.
+func TestElisionMutantsFlaggedAndRacy(t *testing.T) {
+	for _, m := range elisionMutants {
+		m := m
+		t.Run(fmt.Sprintf("%s/region%d", m.app, m.region), func(t *testing.T) {
+			src, err := apps.Source(m.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Baseline: the intact Original translation, with trace.
+			base, _, err := analysis.BuildUnit(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseIR := lowerUnitPolicy(t, base, syncopt.Original)
+			var baseTrace []simmach.TraceEvent
+			baseRes, err := interp.Run(baseIR, interp.Options{
+				Procs: 8, Policy: "original", DetectRaces: true, Params: diffParams[m.app],
+				Trace: func(e simmach.TraceEvent) { baseTrace = append(baseTrace, e) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(baseRes.Races) != 0 {
+				t.Fatalf("intact translation races: %v", baseRes.Races)
+			}
+
+			// Mutant: elide one critical region from the same translation.
+			u, _, err := analysis.BuildUnit(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := u.PolicyProg(syncopt.Original)
+			if err := analysis.ElideRegion(prog, m.region); err != nil {
+				t.Fatal(err)
+			}
+
+			// Static verdict: the coverage checker flags the elision.
+			diags := u.Validate()
+			flagged := false
+			for _, d := range diags {
+				if d.Code == analysis.CodeUncoveredWrite && d.Policy == "original" {
+					flagged = true
+				}
+			}
+			if !flagged {
+				t.Fatalf("static checker missed the elision; diagnostics: %v", diags)
+			}
+
+			// Dynamic verdict: the same mutated translation races.
+			mutIR := lowerUnitPolicy(t, u, syncopt.Original)
+			var mutTrace []simmach.TraceEvent
+			mutRes, err := interp.Run(mutIR, interp.Options{
+				Procs: 8, Policy: "original", DetectRaces: true, Params: diffParams[m.app],
+				Trace: func(e simmach.TraceEvent) { mutTrace = append(mutTrace, e) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mutRes.Races) == 0 {
+				t.Fatal("mutant executed race-free")
+			}
+			race := mutRes.Races[0]
+			if race.Section != m.section || race.Object != m.object {
+				t.Errorf("race in %s on %s, want %s on %s", race.Section, race.Object, m.section, m.object)
+			}
+
+			// Trace evidence, part 1: the elided synchronization is visible
+			// as missing acquires of the object's lock.
+			baseAcq := countAcquires(baseTrace, m.object)
+			mutAcq := countAcquires(mutTrace, m.object)
+			if baseAcq == 0 {
+				t.Fatalf("baseline trace shows no acquires of %s locks", m.object)
+			}
+			if mutAcq >= baseAcq {
+				t.Errorf("mutant trace has %d acquires of %s locks, baseline %d: elision not visible",
+					mutAcq, m.object, baseAcq)
+			}
+
+			// Trace evidence, part 2: at the racing access, the accessing
+			// processor holds no lock on the racy object.
+			if n := heldAt(mutTrace, race.Proc, race.Object, race.Time); n != 0 {
+				t.Errorf("trace shows proc %d holding %d %s lock(s) at t=%d",
+					race.Proc, n, race.Object, int64(race.Time))
+			}
+		})
+	}
+}
+
+// lowerUnitPolicy lowers one policy program of a unit to runnable IR.
+func lowerUnitPolicy(t *testing.T, u *analysis.Unit, policy syncopt.Policy) *ir.Program {
+	t.Helper()
+	info, err := sema.Check(u.PolicyProg(policy))
+	if err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+	b := lower.NewBuilder()
+	if err := b.AddPolicy(info, string(policy)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// countAcquires counts successful lock acquisitions (uncontended acquires
+// plus contended handoffs) of locks with the given name.
+func countAcquires(trace []simmach.TraceEvent, lock string) int {
+	n := 0
+	for _, e := range trace {
+		if e.Lock == lock && (e.Kind == simmach.TraceAcquire || e.Kind == simmach.TraceGrant) {
+			n++
+		}
+	}
+	return n
+}
+
+// heldAt replays the sync-event trace up to virtual time now and returns
+// how many locks named lock the processor holds.
+func heldAt(trace []simmach.TraceEvent, proc int, lock string, now simmach.Time) int {
+	n := 0
+	for _, e := range trace {
+		if e.Time > now {
+			break
+		}
+		if e.Proc != proc || e.Lock != lock {
+			continue
+		}
+		switch e.Kind {
+		case simmach.TraceAcquire, simmach.TraceGrant:
+			n++
+		case simmach.TraceRelease:
+			n--
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/obl/ast"
+)
+
+// This file implements the seeded-bug mutation operators of the
+// differential harness: controlled miscompilations applied to a transformed
+// policy program. Each mutant must be flagged by the static checkers, and
+// the lock-elision mutants must also be observably racy under the
+// simulated machine — tying the static verdicts to dynamic evidence.
+
+// regionRef locates one SyncBlock and the statement list slot holding it.
+type regionRef struct {
+	list *[]ast.Stmt
+	idx  int
+	sb   *ast.SyncBlock
+}
+
+// collectRegions enumerates every critical region of the program in
+// deterministic order (top-level functions in declaration order, then
+// methods in class order, depth-first within each body).
+func collectRegions(p *ast.Program) []regionRef {
+	var out []regionRef
+	var walkBlock func(b *ast.Block)
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			walkBlock(s)
+		case *ast.IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walkBlock(s.Else)
+			}
+		case *ast.WhileStmt:
+			walkBlock(s.Body)
+		case *ast.ForStmt:
+			walkBlock(s.Body)
+		case *ast.SyncBlock:
+			walkBlock(s.Body)
+		}
+	}
+	walkBlock = func(b *ast.Block) {
+		for i, s := range b.Stmts {
+			if sb, ok := s.(*ast.SyncBlock); ok {
+				out = append(out, regionRef{list: &b.Stmts, idx: i, sb: sb})
+			}
+			walkStmt(s)
+		}
+	}
+	for _, f := range p.Funcs {
+		walkBlock(f.Body)
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			walkBlock(m.Body)
+		}
+	}
+	return out
+}
+
+// CountRegions returns the number of critical regions in the program.
+func CountRegions(p *ast.Program) int { return len(collectRegions(p)) }
+
+// ElideRegion removes the n-th critical region, keeping its body: the
+// classic lock-elision miscompilation. The uncovered accesses should be
+// flagged statically (OBL-E100/OBL-E101) and race dynamically.
+func ElideRegion(p *ast.Program, n int) error {
+	regions := collectRegions(p)
+	if n < 0 || n >= len(regions) {
+		return fmt.Errorf("analysis: elide: region %d of %d does not exist", n, len(regions))
+	}
+	r := regions[n]
+	(*r.list)[r.idx] = r.sb.Body
+	return nil
+}
+
+// SwapLock replaces the n-th region's lock with the lock of the first
+// region guarding a different object: the region still synchronizes, but
+// on the wrong lock, so its accesses stay uncovered (OBL-E100) while the
+// program remains sync-stripped-equivalent.
+func SwapLock(p *ast.Program, n int) error {
+	regions := collectRegions(p)
+	if n < 0 || n >= len(regions) {
+		return fmt.Errorf("analysis: swaplock: region %d of %d does not exist", n, len(regions))
+	}
+	want := ast.ExprString(regions[n].sb.Lock)
+	for _, other := range regions {
+		if ast.ExprString(other.sb.Lock) != want {
+			regions[n].sb.Lock = ast.CloneExpr(other.sb.Lock)
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: swaplock: no region with a different lock than %s", want)
+}
+
+// LeakRegion appends a bare return to the n-th region's body, creating a
+// path that exits the enclosing (void) function while the lock is held
+// (OBL-E102); the extra return also breaks equivalence (OBL-E103).
+func LeakRegion(p *ast.Program, n int) error {
+	regions := collectRegions(p)
+	if n < 0 || n >= len(regions) {
+		return fmt.Errorf("analysis: leak: region %d of %d does not exist", n, len(regions))
+	}
+	sb := regions[n].sb
+	pos := sb.P
+	if pos.Line == 0 && len(sb.Body.Stmts) > 0 {
+		pos = sb.Body.Stmts[0].Pos()
+	}
+	sb.Body.Stmts = append(sb.Body.Stmts, &ast.ReturnStmt{P: pos})
+	return nil
+}
+
+// DropStmt deletes the last statement of the n-th region's body: the
+// optimizer "lost" an update, which equivalence checking must catch
+// (OBL-E103).
+func DropStmt(p *ast.Program, n int) error {
+	regions := collectRegions(p)
+	if n < 0 || n >= len(regions) {
+		return fmt.Errorf("analysis: drop: region %d of %d does not exist", n, len(regions))
+	}
+	body := regions[n].sb.Body
+	if len(body.Stmts) == 0 {
+		return fmt.Errorf("analysis: drop: region %d has an empty body", n)
+	}
+	body.Stmts = body.Stmts[:len(body.Stmts)-1]
+	return nil
+}
+
+// Mutations names the mutation operators for drivers and test directives.
+var Mutations = map[string]func(*ast.Program, int) error{
+	"elide":    ElideRegion,
+	"swaplock": SwapLock,
+	"leak":     LeakRegion,
+	"drop":     DropStmt,
+}

@@ -1,5 +1,37 @@
 package ast
 
+// CloneProgram deep-copies a whole program AST, including parallel loop
+// marks. The compiler driver clones the checked program once per
+// synchronization policy, and the static analyzer clones it again to build
+// sync-stripped canonical forms.
+func CloneProgram(p *Program) *Program {
+	out := &Program{}
+	for _, c := range p.Classes {
+		cc := &ClassDecl{P: c.P, Name: c.Name}
+		for _, f := range c.Fields {
+			cc.Fields = append(cc.Fields, &FieldDecl{P: f.P, Name: f.Name, Type: CloneType(f.Type)})
+		}
+		for _, m := range c.Methods {
+			cc.Methods = append(cc.Methods, CloneFunc(m))
+		}
+		out.Classes = append(out.Classes, cc)
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, CloneFunc(f))
+	}
+	for _, e := range p.Externs {
+		ee := &ExternDecl{P: e.P, Name: e.Name, Result: CloneType(e.Result), Cost: e.Cost}
+		for _, pp := range e.Params {
+			ee.Params = append(ee.Params, &ParamSpec{P: pp.P, Name: pp.Name, Type: CloneType(pp.Type)})
+		}
+		out.Externs = append(out.Externs, ee)
+	}
+	for _, d := range p.Params {
+		out.Params = append(out.Params, &ParamDecl{P: d.P, Name: d.Name, Default: d.Default})
+	}
+	return out
+}
+
 // CloneFunc deep-copies a function declaration. The synchronization
 // optimizer clones methods before rewriting them, since each policy needs
 // its own variant of the affected code (§4.2: the compiler generates

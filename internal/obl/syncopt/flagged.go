@@ -25,6 +25,33 @@ type FlaggedInfo struct {
 	Enabled map[Policy][]bool
 }
 
+// ActiveFor reports whether a synchronization site acquires its lock under
+// the given policy: site zero (an unconditional region) always does, and a
+// conditional site does when the policy's flag for it is set. This is the
+// per-policy placement fact consumers like the static safety analyzer need
+// to reconstruct each policy's view of the flag-dispatch program.
+func (fi *FlaggedInfo) ActiveFor(site int, p Policy) bool {
+	if site <= 0 {
+		return true
+	}
+	vec := fi.Enabled[p]
+	if site > len(vec) {
+		return false
+	}
+	return vec[site-1]
+}
+
+// ActiveSites returns the number of sites a policy enables.
+func (fi *FlaggedInfo) ActiveSites(p Policy) int {
+	n := 0
+	for _, on := range fi.Enabled[p] {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
 // ApplyFlagged rewrites prog in place into the flag-dispatch form: every
 // critical region any policy would create becomes a conditional region
 // with its own site ID, and the returned FlaggedInfo records which sites

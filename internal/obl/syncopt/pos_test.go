@@ -1,0 +1,102 @@
+package syncopt_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/obl/ast"
+	"repro/internal/obl/callgraph"
+	"repro/internal/obl/commute"
+	"repro/internal/obl/parser"
+	"repro/internal/obl/sema"
+	"repro/internal/obl/syncopt"
+)
+
+// TestRegionsCarryPositions checks that every critical region the optimizer
+// synthesizes — default placement, merged, lifted, expanded, and the
+// conditional sites of the flag-dispatch version — carries a real source
+// position, so diagnostics anchored to regions never print 0:0.
+func TestRegionsCarryPositions(t *testing.T) {
+	for _, name := range apps.Names {
+		src, err := apps.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policy := range syncopt.AllPolicies {
+			prog, info, cg := buildMarked(t, src)
+			if err := syncopt.Apply(prog, info, cg, policy); err != nil {
+				t.Fatal(err)
+			}
+			checkRegionPositions(t, name+"/"+string(policy), prog)
+		}
+		prog, info, cg := buildMarked(t, src)
+		if _, err := syncopt.ApplyFlagged(prog, info, cg); err != nil {
+			t.Fatal(err)
+		}
+		checkRegionPositions(t, name+"/flagged", prog)
+	}
+}
+
+func buildMarked(t *testing.T, src string) (*ast.Program, *sema.Info, *callgraph.Graph) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := callgraph.Build(info)
+	commute.New(info, cg).AnalyzeLoops()
+	return prog, info, cg
+}
+
+func checkRegionPositions(t *testing.T, label string, prog *ast.Program) {
+	t.Helper()
+	n := 0
+	forEachRegion(prog, func(sb *ast.SyncBlock) {
+		n++
+		if sb.P.Line <= 0 {
+			t.Errorf("%s: region on %s has zero position", label, ast.ExprString(sb.Lock))
+		}
+		if sb.Body.P.Line <= 0 {
+			t.Errorf("%s: region body on %s has zero position", label, ast.ExprString(sb.Lock))
+		}
+	})
+	if n == 0 {
+		t.Errorf("%s: no regions generated", label)
+	}
+}
+
+func forEachRegion(p *ast.Program, f func(*ast.SyncBlock)) {
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.WhileStmt:
+			walk(s.Body)
+		case *ast.ForStmt:
+			walk(s.Body)
+		case *ast.SyncBlock:
+			f(s)
+			walk(s.Body)
+		}
+	}
+	for _, fn := range p.Funcs {
+		walk(fn.Body)
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			walk(m.Body)
+		}
+	}
+}

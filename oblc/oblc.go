@@ -169,33 +169,7 @@ func Compile(src string) (*Compiled, error) {
 }
 
 // cloneProgram deep-copies a program AST (with parallel loop marks).
-func cloneProgram(p *ast.Program) *ast.Program {
-	out := &ast.Program{}
-	for _, c := range p.Classes {
-		cc := &ast.ClassDecl{P: c.P, Name: c.Name}
-		for _, f := range c.Fields {
-			cc.Fields = append(cc.Fields, &ast.FieldDecl{P: f.P, Name: f.Name, Type: ast.CloneType(f.Type)})
-		}
-		for _, m := range c.Methods {
-			cc.Methods = append(cc.Methods, ast.CloneFunc(m))
-		}
-		out.Classes = append(out.Classes, cc)
-	}
-	for _, f := range p.Funcs {
-		out.Funcs = append(out.Funcs, ast.CloneFunc(f))
-	}
-	for _, e := range p.Externs {
-		ee := &ast.ExternDecl{P: e.P, Name: e.Name, Result: ast.CloneType(e.Result), Cost: e.Cost}
-		for _, pp := range e.Params {
-			ee.Params = append(ee.Params, &ast.ParamSpec{P: pp.P, Name: pp.Name, Type: ast.CloneType(pp.Type)})
-		}
-		out.Externs = append(out.Externs, ee)
-	}
-	for _, d := range p.Params {
-		out.Params = append(out.Params, &ast.ParamDecl{P: d.P, Name: d.Name, Default: d.Default})
-	}
-	return out
-}
+func cloneProgram(p *ast.Program) *ast.Program { return ast.CloneProgram(p) }
 
 func stripParallel(p *ast.Program) {
 	var walk func(s ast.Stmt)
