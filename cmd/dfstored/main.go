@@ -1,0 +1,120 @@
+// Command dfstored is the fleet policy hub: the small server a fleet of
+// dfserved replicas pushes winner records to and subscribes to peer
+// updates from, so a policy learned by one replica warm-starts every
+// other (see docs/fleet.md for the protocol).
+//
+// Usage:
+//
+//	dfstored [-addr :9090] [-data DIR] [-log text|json] [-version]
+//
+// With -data the hub persists its state in an embedded write-ahead-logged
+// KV store and survives restarts; without it the state refills from the
+// replicas' next pushes.
+//
+// Endpoints:
+//
+//	GET  /v1/state   full state dump (bootstrap)
+//	POST /v1/push    merge records (last-writer-wins)
+//	GET  /v1/watch   long-poll for updates since a cursor
+//	GET  /healthz    liveness, record count, sequence
+//	GET  /metrics    Prometheus text-format metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dynfb/store"
+	"repro/dynfb/store/hub"
+	"repro/internal/buildinfo"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	dataDir := flag.String("data", "", "KV directory persisting hub state (empty = memory only)")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("dfstored %s (%s)\n", buildinfo.Version(), buildinfo.Runtime())
+		return
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := hub.Config{Logger: logger}
+	var backing *store.KVStore
+	if *dataDir != "" {
+		backing, err = store.OpenKV(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		if warn := backing.LoadWarning(); warn != "" {
+			logger.Warn("hub data loaded with damage tolerated", "warning", warn)
+		}
+		cfg.Backing = backing
+	}
+	h, err := hub.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: h.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Info("draining on signal", "signal", s.String())
+		ctx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		defer done()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete; closing", "err", err)
+			httpSrv.Close()
+		}
+	}()
+
+	logger.Info("dfstored listening", "addr", *addr, "version", buildinfo.Version(),
+		"data", dataDesc(*dataDir))
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	if backing != nil {
+		if err := backing.Close(); err != nil {
+			logger.Warn("closing hub data", "err", err)
+		}
+	}
+	logger.Info("dfstored drained cleanly")
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("dfstored: unknown log format %q (want text or json)", format)
+	}
+}
+
+func dataDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfstored:", err)
+	os.Exit(1)
+}

@@ -322,15 +322,30 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 	return s, nil
 }
 
-// warmStart seeds the controller from a matching store record. Any
-// mismatch — no record, a different environment fingerprint, an unknown
-// winner name — silently degrades to a cold start: the store is a cache,
-// and a miss just means full sampling.
-func (s *Section) warmStart() {
-	rec, ok, err := s.cfg.Store.Load(s.cfg.Name)
-	if err != nil || !ok || rec.Fingerprint != s.fp {
-		return
+// loadRecord fetches this section's record for exactly this environment.
+// Stores that implement store.EnvLoader (all the backend-based stores)
+// are asked for the fingerprint-exact record; plain stores fall back to
+// Load plus a fingerprint check.
+func (s *Section) loadRecord() (store.Record, bool) {
+	var (
+		rec store.Record
+		ok  bool
+		err error
+	)
+	if el, isEnv := s.cfg.Store.(store.EnvLoader); isEnv {
+		rec, ok, err = el.LoadFor(s.cfg.Name, s.fp)
+	} else {
+		rec, ok, err = s.cfg.Store.Load(s.cfg.Name)
 	}
+	if err != nil || !ok || rec.Fingerprint != s.fp {
+		return store.Record{}, false
+	}
+	return rec, true
+}
+
+// buildSeed converts a store record into controller seed knowledge,
+// rejecting records whose winner or variant set no longer matches.
+func (s *Section) buildSeed(rec store.Record) (core.Seed, bool) {
 	winner := -1
 	for i, name := range s.names {
 		if name == rec.Winner {
@@ -339,7 +354,7 @@ func (s *Section) warmStart() {
 		}
 	}
 	if winner < 0 {
-		return
+		return core.Seed{}, false
 	}
 	seed := core.Seed{Winner: winner, WinnerOverhead: rec.WinnerOverhead}
 	if len(rec.Policies) == len(s.names) {
@@ -358,14 +373,71 @@ func (s *Section) warmStart() {
 		}
 		seed.Stats = stats
 	}
+	return seed, true
+}
+
+// warmStart seeds the controller from a matching store record. Any
+// mismatch — no record, a different environment fingerprint, an unknown
+// winner name — silently degrades to a cold start: the store is a cache,
+// and a miss just means full sampling.
+func (s *Section) warmStart() {
+	rec, ok := s.loadRecord()
+	if !ok {
+		return
+	}
+	seed, ok := s.buildSeed(rec)
+	if !ok {
+		return
+	}
 	if s.ctl.SeedHistory(seed) == nil {
 		s.warm = true
 	}
 }
 
+// Reseed re-attempts a warm start from the configured store. It is the
+// live fleet warm-start path: a replica's section boots cold (no record
+// had reached its store yet), a peer's winner record arrives over
+// replication, and the serving layer calls Reseed so the section adopts
+// the fleet's knowledge without a restart. The seed is accepted only
+// while the section has not chosen a production winner of its own —
+// measured local knowledge always wins over replicated knowledge — and a
+// fingerprint or variant mismatch degrades to a no-op exactly like
+// warm-starting at creation. It reports whether the section was seeded,
+// and is safe to call concurrently with Run.
+func (s *Section) Reseed() bool {
+	if s.cfg.Store == nil || s.cfg.Name == "" {
+		return false
+	}
+	rec, ok := s.loadRecord()
+	if !ok {
+		return false
+	}
+	seed, ok := s.buildSeed(rec)
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.warm {
+		return false
+	}
+	if _, won := s.ctl.LastWinner(); won {
+		return false
+	}
+	if s.ctl.LateSeed(seed) != nil {
+		return false
+	}
+	s.warm = true
+	return true
+}
+
 // WarmStarted reports whether a matching store record seeded this section
-// at creation.
-func (s *Section) WarmStarted() bool { return s.warm }
+// (at creation, or later through Reseed).
+func (s *Section) WarmStarted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm
+}
 
 // calibrateLockPair times uncontended instrumented lock/unlock pairs.
 func calibrateLockPair() time.Duration {
@@ -572,6 +644,10 @@ type Snapshot struct {
 	WinnerOverhead float64
 	// WarmStarted reports whether a store record seeded the section.
 	WarmStarted bool
+	// Switches counts adaptation events: production entries that selected
+	// a different variant than the previous production phase (the first
+	// production entry counts as one).
+	Switches int
 	// Stats are the per-variant aggregates, in declaration order.
 	Stats []Stats
 }
@@ -597,6 +673,12 @@ func (s *Section) snapshotLocked() Snapshot {
 	if w, ok := s.ctl.LastWinner(); ok {
 		snap.Winner = s.names[w]
 		snap.WinnerOverhead = s.ctl.LastWinnerOverhead()
+	}
+	switches := s.ctl.Switches()
+	for i, sw := range switches {
+		if i == 0 || sw.Policy != switches[i-1].Policy {
+			snap.Switches++
+		}
 	}
 	cs := s.ctl.Stats()
 	snap.Stats = make([]Stats, len(cs))

@@ -5,39 +5,66 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 )
 
-// fileSchema is the on-disk envelope of a FileStore.
+// fileSchema is the on-disk envelope of a FileStore (and of a KVStore
+// snapshot): the schema version and the keyed, versioned records.
 type fileSchema struct {
+	Schema  int               `json:"schema"`
+	Records []VersionedRecord `json:"records"`
+}
+
+// fileSchemaV1 is the original envelope: a section-keyed map of records
+// from before keys carried tenants and environments. It is migrated on
+// load so a pre-fleet policy file keeps its knowledge.
+type fileSchemaV1 struct {
 	Schema  int               `json:"schema"`
 	Records map[string]Record `json:"records"`
 }
 
-// FileStore is a Store backed by a single JSON file. Every Save rewrites
+// FileStore is a store backed by a single JSON file. Every Put rewrites
 // the file through a temporary sibling and an atomic rename, so readers
 // (and a crash mid-write) always observe either the old or the new
-// contents, never a torn file.
+// contents, never a torn file; the temporary file and the directory are
+// both fsynced so the rename is durable once Put returns. It implements
+// both Store and Backend.
 type FileStore struct {
 	path string
 	mu   sync.Mutex
-	recs map[string]Record
+	recs map[Key]VersionedRecord
 	// loadWarning describes a tolerated load failure (corrupt or
 	// version-skewed file), for callers that want to report it.
 	loadWarning string
+	watch       watchers
 }
 
 // OpenFile opens (or initializes) the store file at path. A missing file
 // yields an empty store. A truncated, corrupt, or schema-mismatched file
 // also yields an empty store — the knowledge is re-learnable, and failing
 // to start over a damaged cache would be worse than a cold start; the
-// tolerated condition is reported by LoadWarning. Only environmental
-// errors (e.g. an unreadable file that exists) are returned.
+// tolerated condition is reported by LoadWarning. A schema-1 file (from
+// before the fleet rework) is migrated in place of being discarded. Only
+// environmental errors (e.g. an unreadable file that exists) are
+// returned.
 func OpenFile(path string) (*FileStore, error) {
 	if path == "" {
 		return nil, fmt.Errorf("store: empty file path")
 	}
-	f := &FileStore{path: path, recs: map[string]Record{}}
+	f := &FileStore{path: path, recs: map[Key]VersionedRecord{}}
+	// Sweep temporaries a crashed write may have left beside the store;
+	// they were never renamed, so their contents are possibly torn and
+	// must never be read as a store.
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if isTempName(base, e.Name()) {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -45,76 +72,94 @@ func OpenFile(path string) (*FileStore, error) {
 		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	var sc fileSchema
-	if err := json.Unmarshal(data, &sc); err != nil {
-		f.loadWarning = fmt.Sprintf("corrupt store file %s ignored: %v", path, err)
-		return f, nil
-	}
-	if sc.Schema != SchemaVersion {
-		f.loadWarning = fmt.Sprintf("store file %s has schema %d, want %d; starting empty", path, sc.Schema, SchemaVersion)
-		return f, nil
-	}
-	for name, rec := range sc.Records {
-		rec.Section = name
-		f.recs[name] = rec
-	}
+	recs, warn := decodeRecords(data, path)
+	f.recs = recs
+	f.loadWarning = warn
 	return f, nil
 }
 
-// Path returns the backing file path.
-func (f *FileStore) Path() string { return f.path }
-
-// LoadWarning reports a tolerated load failure ("" when the file loaded
-// cleanly or did not exist).
-func (f *FileStore) LoadWarning() string { return f.loadWarning }
-
-// Load implements Store.
-func (f *FileStore) Load(section string) (Record, bool, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	rec, ok := f.recs[section]
-	if !ok {
-		return Record{}, false, nil
+// decodeRecords parses a store file (either schema), tolerating damage:
+// the second result is a warning describing why the result is empty (""
+// when the file decoded cleanly).
+func decodeRecords(data []byte, path string) (map[Key]VersionedRecord, string) {
+	recs := map[Key]VersionedRecord{}
+	var probe struct {
+		Schema int `json:"schema"`
 	}
-	return cloneRecord(rec), true, nil
-}
-
-// Save implements Store. The whole store is rewritten atomically.
-func (f *FileStore) Save(rec Record) error {
-	if rec.Section == "" {
-		return fmt.Errorf("store: record has no section name")
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return recs, fmt.Sprintf("corrupt store file %s ignored: %v", path, err)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.recs[rec.Section] = cloneRecord(rec)
-	return f.flushLocked()
+	switch probe.Schema {
+	case 1:
+		var sc fileSchemaV1
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return recs, fmt.Sprintf("corrupt store file %s ignored: %v", path, err)
+		}
+		for name, rec := range sc.Records {
+			rec.Section = name
+			k := Key{Section: name, Env: rec.Fingerprint.Hash()}
+			recs[k] = VersionedRecord{Key: k, Version: 1, Clock: 1, Record: rec}
+		}
+		return recs, ""
+	case SchemaVersion:
+		var sc fileSchema
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return recs, fmt.Sprintf("corrupt store file %s ignored: %v", path, err)
+		}
+		for _, vr := range sc.Records {
+			if vr.Key.Validate() != nil {
+				continue
+			}
+			vr.Record.Section = vr.Key.Section
+			recs[vr.Key] = vr
+		}
+		return recs, ""
+	default:
+		return recs, fmt.Sprintf("store file %s has schema %d, want %d; starting empty",
+			path, probe.Schema, SchemaVersion)
+	}
 }
 
-// Sections implements Store.
-func (f *FileStore) Sections() ([]string, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return sortedKeys(f.recs), nil
-}
-
-// flushLocked writes the store to a temporary file in the same directory
-// and renames it over the target, so the visible file is always complete.
-func (f *FileStore) flushLocked() error {
-	sc := fileSchema{Schema: SchemaVersion, Records: f.recs}
+// encodeRecords renders the records in the current schema, sorted by key
+// so the output is deterministic (byte-identical files for identical
+// contents).
+func encodeRecords(recs map[Key]VersionedRecord) ([]byte, error) {
+	sc := fileSchema{Schema: SchemaVersion, Records: make([]VersionedRecord, 0, len(recs))}
+	for _, vr := range recs {
+		sc.Records = append(sc.Records, vr)
+	}
+	sort.Slice(sc.Records, func(i, j int) bool { return sc.Records[i].Key.less(sc.Records[j].Key) })
 	data, err := json.MarshalIndent(sc, "", "  ")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
-	dir := filepath.Dir(f.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	return data, nil
+}
+
+// writeFileAtomic writes data to path through a fsynced temporary sibling
+// and an atomic rename, then fsyncs the directory so the rename itself
+// survives a crash. Readers never observe a torn file: the temporary name
+// carries a ".tmp" suffix readers ignore, and the final name only ever
+// points at complete contents.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// The data must be on stable storage before the rename publishes the
+	// name, or a crash can leave a fully renamed but empty/torn file.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -124,9 +169,137 @@ func (f *FileStore) flushLocked() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmpName, f.path); err != nil {
+	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
+	// And the rename must reach the directory, or a crash forgets it.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory; on platforms where directories cannot be
+// fsynced the error is ignored (the rename is still atomic, just not
+// durably ordered).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("store: fsync %s: %w", dir, err)
+	}
 	return nil
+}
+
+// isTempName reports whether a directory entry is one of our in-flight
+// temporary files (never to be read as a store).
+func isTempName(base, name string) bool {
+	return strings.HasPrefix(name, base+".tmp")
+}
+
+// Path returns the backing file path.
+func (f *FileStore) Path() string { return f.path }
+
+// LoadWarning reports a tolerated load failure ("" when the file loaded
+// cleanly or did not exist).
+func (f *FileStore) LoadWarning() string { return f.loadWarning }
+
+// Get implements Backend.
+func (f *FileStore) Get(k Key) (VersionedRecord, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vr, ok := f.recs[k]
+	if !ok {
+		return VersionedRecord{}, false, nil
+	}
+	return cloneVersioned(vr), true, nil
+}
+
+// Put implements Backend. The whole store is rewritten atomically and
+// durably before Put returns.
+func (f *FileStore) Put(rec VersionedRecord, prev uint64) (VersionedRecord, error) {
+	if err := validatePut(rec); err != nil {
+		return VersionedRecord{}, err
+	}
+	f.mu.Lock()
+	cur, ok := f.recs[rec.Key]
+	curVersion := uint64(0)
+	if ok {
+		curVersion = cur.Version
+	}
+	if curVersion != prev {
+		f.mu.Unlock()
+		return VersionedRecord{}, fmt.Errorf("%w: key %s at version %d, caller expected %d",
+			ErrConflict, rec.Key, curVersion, prev)
+	}
+	stored := cloneVersioned(rec)
+	stored.Version = curVersion + 1
+	f.recs[rec.Key] = stored
+	if err := f.flushLocked(); err != nil {
+		// Roll the map back so memory and disk stay in agreement.
+		if ok {
+			f.recs[rec.Key] = cur
+		} else {
+			delete(f.recs, rec.Key)
+		}
+		f.mu.Unlock()
+		return VersionedRecord{}, err
+	}
+	out := cloneVersioned(stored)
+	f.mu.Unlock()
+	f.watch.notify(out)
+	return cloneVersioned(out), nil
+}
+
+// List implements Backend.
+func (f *FileStore) List() ([]Key, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]Key, 0, len(f.recs))
+	for k := range f.recs {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys, nil
+}
+
+// Watch implements Backend.
+func (f *FileStore) Watch(fn func(VersionedRecord)) (cancel func()) {
+	return f.watch.add(fn)
+}
+
+// Close implements Backend (the file is already durable after every Put).
+func (f *FileStore) Close() error { return nil }
+
+// Load implements Store.
+func (f *FileStore) Load(section string) (Record, bool, error) {
+	return viewLoad(f, "", section)
+}
+
+// LoadFor implements EnvLoader.
+func (f *FileStore) LoadFor(section string, fp Fingerprint) (Record, bool, error) {
+	return viewLoadFor(f, "", section, fp)
+}
+
+// Save implements Store.
+func (f *FileStore) Save(rec Record) error {
+	return viewSave(f, "", rec)
+}
+
+// Sections implements Store.
+func (f *FileStore) Sections() ([]string, error) {
+	return viewSections(f, "")
+}
+
+// flushLocked writes the store to a temporary file in the same directory
+// and renames it over the target, fsyncing both the data and the
+// directory entry, so the visible file is always complete and a completed
+// Put survives a crash.
+func (f *FileStore) flushLocked() error {
+	data, err := encodeRecords(f.recs)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(f.path, data)
 }

@@ -1,0 +1,319 @@
+// Package hub implements the dfstored replication hub: the rendezvous
+// point a fleet of dfserved replicas pushes winner records to and
+// subscribes to peer updates from.
+//
+// The hub is deliberately small. It holds the fleet's current policy
+// knowledge as a map of (tenant, section, environment) keys to versioned
+// records, resolves concurrent writers by last-writer-wins (store.Newer:
+// Lamport clock, then update time, then origin id — a total, deterministic
+// order), and assigns every applied update a monotonically increasing hub
+// sequence number that replicas use as a watch cursor. Replicas push with
+// POST /v1/push, bootstrap with GET /v1/state, and follow the stream with
+// long-polling GET /v1/watch?since=N. The hub never initiates
+// connections, so a replica behind NAT or a partition simply reconnects
+// and resyncs; nothing on the hub side tracks replica liveness.
+//
+// Knowledge on the hub is a cache, exactly like every other store layer:
+// with an optional backing Backend (dfstored -data uses the embedded KV
+// store) it survives restarts, and without one a restarted hub simply
+// refills from the replicas' next pushes and resyncs.
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/dynfb/store"
+	"repro/internal/buildinfo"
+	"repro/internal/metrics"
+)
+
+// Config parameterizes a Hub.
+type Config struct {
+	// Backing, when non-nil, persists the hub's state: applied updates
+	// are merged into it, and its contents seed the hub at startup.
+	Backing store.Backend
+	// Logger receives structured logs. Default slog.Default().
+	Logger *slog.Logger
+	// MaxWatchWait bounds a long-poll watch. Default 25s.
+	MaxWatchWait time.Duration
+}
+
+// entry is one record plus the hub sequence at which it last changed.
+type entry struct {
+	rec store.VersionedRecord
+	seq uint64
+}
+
+// Hub is the replication hub state and HTTP API.
+type Hub struct {
+	cfg   Config
+	log   *slog.Logger
+	start time.Time
+	reg   *metrics.Registry
+
+	mu     sync.Mutex
+	recs   map[store.Key]entry
+	seq    uint64
+	waitCh chan struct{} // closed and replaced on every applied update
+
+	mPushes   *metrics.Counter
+	mApplied  *metrics.Counter
+	mStale    *metrics.Counter
+	mWatches  *metrics.Counter
+	mRequests *metrics.Counter
+}
+
+// New builds a hub, seeding it from cfg.Backing when one is configured.
+func New(cfg Config) (*Hub, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.MaxWatchWait <= 0 {
+		cfg.MaxWatchWait = 25 * time.Second
+	}
+	h := &Hub{
+		cfg:    cfg,
+		log:    cfg.Logger,
+		start:  time.Now(),
+		reg:    metrics.NewRegistry(),
+		recs:   map[store.Key]entry{},
+		waitCh: make(chan struct{}),
+	}
+	h.mRequests = h.reg.Counter("dfstored_requests_total", "HTTP requests served.")
+	h.mPushes = h.reg.Counter("dfstored_pushes_total", "Push requests received.")
+	h.mApplied = h.reg.Counter("dfstored_records_applied_total", "Pushed records that won LWW and were applied.")
+	h.mStale = h.reg.Counter("dfstored_records_stale_total", "Pushed records that lost LWW and were dropped.")
+	h.mWatches = h.reg.Counter("dfstored_watch_requests_total", "Watch long-polls served.")
+	h.reg.GaugeFunc("dfstored_records", "Records currently held.", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(len(h.recs))
+	})
+	h.reg.GaugeFunc("dfstored_sequence", "Hub sequence of the latest applied update.", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(h.seq)
+	})
+	h.reg.BuildInfo()
+
+	if cfg.Backing != nil {
+		keys, err := cfg.Backing.List()
+		if err != nil {
+			return nil, fmt.Errorf("hub: seeding from backing store: %w", err)
+		}
+		for _, k := range keys {
+			vr, ok, err := cfg.Backing.Get(k)
+			if err != nil {
+				return nil, fmt.Errorf("hub: seeding from backing store: %w", err)
+			}
+			if ok {
+				h.seq++
+				h.recs[k] = entry{rec: vr, seq: h.seq}
+			}
+		}
+		h.log.Info("hub seeded from backing store", "records", len(h.recs))
+	}
+	return h, nil
+}
+
+// StateResponse is the body of GET /v1/state and GET /v1/watch.
+type StateResponse struct {
+	// Seq is the hub sequence of the latest applied update.
+	Seq uint64 `json:"seq"`
+	// Records are the full state (GET /v1/state) or the records changed
+	// since the cursor (GET /v1/watch).
+	Records []store.VersionedRecord `json:"records"`
+}
+
+// PushRequest is the body of POST /v1/push.
+type PushRequest struct {
+	// Origin identifies the pushing replica (logs only; each record
+	// carries its own origin for LWW).
+	Origin string `json:"origin,omitempty"`
+	// Records are the writes to merge.
+	Records []store.VersionedRecord `json:"records"`
+}
+
+// PushResponse is the response of POST /v1/push.
+type PushResponse struct {
+	// Seq is the hub sequence after the push.
+	Seq uint64 `json:"seq"`
+	// Applied counts the records that won LWW and changed hub state.
+	Applied int `json:"applied"`
+}
+
+// Apply merges records into the hub under last-writer-wins, returning the
+// resulting sequence and how many were applied. It is the programmatic
+// core of POST /v1/push.
+func (h *Hub) Apply(records []store.VersionedRecord) (uint64, int, error) {
+	var toBack []store.VersionedRecord
+	stale := 0
+	h.mu.Lock()
+	for _, rec := range records {
+		if rec.Key.Validate() != nil {
+			continue
+		}
+		rec.Record.Section = rec.Key.Section
+		cur, ok := h.recs[rec.Key]
+		if ok && !store.Newer(rec, cur.rec) {
+			stale++
+			continue
+		}
+		h.seq++
+		h.recs[rec.Key] = entry{rec: rec, seq: h.seq}
+		toBack = append(toBack, rec)
+	}
+	applied := len(toBack)
+	var wake chan struct{}
+	if applied > 0 {
+		wake = h.waitCh
+		h.waitCh = make(chan struct{})
+	}
+	seq := h.seq
+	h.mu.Unlock()
+
+	if wake != nil {
+		close(wake)
+	}
+	h.mApplied.Add(float64(applied))
+	h.mStale.Add(float64(stale))
+	if h.cfg.Backing != nil {
+		for _, rec := range toBack {
+			if _, err := store.MergeLWW(h.cfg.Backing, rec); err != nil {
+				// The in-memory state already advanced; a backing-store
+				// failure costs durability, not correctness.
+				h.log.Warn("hub backing store write failed", "key", rec.Key.String(), "err", err)
+			}
+		}
+	}
+	return seq, applied, nil
+}
+
+// Seq returns the hub sequence of the latest applied update.
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// snapshotSince returns the current sequence, the records changed since
+// the cursor, and the channel that will be closed at the next update.
+func (h *Hub) snapshotSince(since uint64) (uint64, []store.VersionedRecord, chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []store.VersionedRecord
+	for _, e := range h.recs {
+		if e.seq > since {
+			out = append(out, e.rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return h.seq, out, h.waitCh
+}
+
+// Handler returns the hub's HTTP API.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/state", h.handleState)
+	mux.HandleFunc("GET /v1/watch", h.handleWatch)
+	mux.HandleFunc("POST /v1/push", h.handlePush)
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.Handle("GET /metrics", h.reg.Handler())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.mRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (h *Hub) handleState(w http.ResponseWriter, r *http.Request) {
+	seq, recs, _ := h.snapshotSince(0)
+	writeJSON(w, http.StatusOK, StateResponse{Seq: seq, Records: recs})
+}
+
+func (h *Hub) handleWatch(w http.ResponseWriter, r *http.Request) {
+	h.mWatches.Add(1)
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad since cursor: " + v})
+			return
+		}
+		since = n
+	}
+	wait := h.cfg.MaxWatchWait
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad wait duration: " + v})
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		seq, recs, changed := h.snapshotSince(since)
+		if len(recs) > 0 || seq > since {
+			writeJSON(w, http.StatusOK, StateResponse{Seq: seq, Records: recs})
+			return
+		}
+		select {
+		case <-changed:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, StateResponse{Seq: seq, Records: nil})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (h *Hub) handlePush(w http.ResponseWriter, r *http.Request) {
+	h.mPushes.Add(1)
+	var req PushRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad push body: " + err.Error()})
+		return
+	}
+	seq, applied, err := h.Apply(req.Records)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if applied > 0 {
+		h.log.Debug("push applied", "origin", req.Origin, "records", len(req.Records), "applied", applied, "seq", seq)
+	}
+	writeJSON(w, http.StatusOK, PushResponse{Seq: seq, Applied: applied})
+}
+
+func (h *Hub) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	records, seq := len(h.recs), h.seq
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        buildinfo.Version(),
+		"uptime_seconds": time.Since(h.start).Seconds(),
+		"records":        records,
+		"seq":            seq,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

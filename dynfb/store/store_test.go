@@ -160,6 +160,65 @@ func TestFileStoreCorruptLoadsEmpty(t *testing.T) {
 	}
 }
 
+// TestFileStoreTornTempNeverVisible simulates a crash mid-write: the
+// temporary sibling a crashed writeFileAtomic leaves behind must never be
+// read as the store, must not shadow the real file, and is swept away by
+// the next open.
+func TestFileStoreTornTempNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policies.json")
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(sampleRecord("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between CreateTemp and rename leaves a torn temp sibling.
+	torn := filepath.Join(dir, "policies.json.tmp123456")
+	if err := os.WriteFile(torn, []byte(`{"schema":2,"records":[{"key":{"sec`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.LoadWarning() != "" {
+		t.Errorf("torn temp file tainted the load: %q", fs2.LoadWarning())
+	}
+	got, ok, err := fs2.Load("alpha")
+	if !ok || err != nil || got.Winner != "a" {
+		t.Fatalf("real store not loaded: ok=%v err=%v winner=%q", ok, err, got.Winner)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("stale temp file not swept on open")
+	}
+	// Only the real store file remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "policies.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory = %v, want just policies.json", names)
+	}
+	// And a Put through the fresh handle still round-trips durably.
+	if err := fs2.Save(sampleRecord("beta")); err != nil {
+		t.Fatal(err)
+	}
+	fs3, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs3.Sections(); len(names) != 2 {
+		t.Errorf("sections after repair = %v, want 2", names)
+	}
+}
+
 func TestFileStoreSchemaMismatchLoadsEmpty(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "policies.json")
 	future := fmt.Sprintf(`{"schema":%d,"records":{"sec":{"section":"sec"}}}`, SchemaVersion+1)

@@ -163,6 +163,58 @@ func TestWarmStartFingerprintMismatchFallsBackToFullSampling(t *testing.T) {
 	}
 }
 
+// TestReseedSeedsLiveSection exercises the fleet's live warm-start path: a
+// section booted against an empty store cannot warm-start, but once a peer
+// publishes a winner to the shared store, Reseed picks it up and the next
+// run samples only the winner.
+func TestReseedSeedsLiveSection(t *testing.T) {
+	st := store.NewMemStore()
+	cfg := warmConfig(st)
+	cfg.WarmStart = true
+	late, err := NewSection(cfg, leanAndWaste()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.WarmStarted() {
+		t.Fatal("section warm-started against an empty store")
+	}
+	if late.Reseed() {
+		t.Fatal("Reseed claimed success against an empty store")
+	}
+
+	// A peer learns the winner and publishes it to the shared store.
+	cold, err := NewSection(warmConfig(st), leanAndWaste()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Run(0, 4000)
+	if _, found, _ := st.Load("lean-vs-waste"); !found {
+		t.Fatal("peer run persisted nothing")
+	}
+
+	if !late.Reseed() {
+		t.Fatal("Reseed missed the peer's record")
+	}
+	if !late.WarmStarted() {
+		t.Error("Reseed did not mark the section warm")
+	}
+	if late.Reseed() {
+		t.Error("second Reseed claimed to seed again")
+	}
+	late.Run(0, 4000)
+	if n := samplingBeforeFirstProduction(t, late); n != 1 {
+		t.Errorf("reseeded section sampled %d intervals before production, want 1", n)
+	}
+	if w, ok := late.LastChosen(); !ok || late.VariantStats()[w].Name != "lean" {
+		t.Errorf("reseeded winner not the fleet's: ok=%v", ok)
+	}
+
+	// A section that already found its own winner must refuse a reseed.
+	if cold.Reseed() {
+		t.Error("Reseed overwrote a section's own winner")
+	}
+}
+
 // TestConcurrentSectionsSharedStore exercises concurrent Section writers
 // against one FileStore, with StatsSnapshot readers in flight; run under
 // -race this checks the locking of the whole persistence path.

@@ -1,0 +1,52 @@
+// Package buildinfo identifies the running binary, so fleet members are
+// distinguishable in logs, /healthz responses, and metrics.
+//
+// Release builds stamp the version at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.version=$(git describe --always --dirty)" ./...
+//
+// Unstamped builds fall back to the VCS revision Go embeds in the build
+// info, and finally to "dev".
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// version is set via -ldflags; see the package comment.
+var version = ""
+
+var resolved = sync.OnceValue(func() string {
+	if version != "" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	return "dev"
+})
+
+// Version returns the stamped version, the embedded VCS revision, or
+// "dev", in that order of preference.
+func Version() string { return resolved() }
+
+// Runtime returns the Go runtime version the binary was built with.
+func Runtime() string { return runtime.Version() }

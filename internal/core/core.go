@@ -641,6 +641,47 @@ func (c *Controller) SeedHistory(seed Seed) error {
 	return nil
 }
 
+// LateSeed primes a controller that may already be executing, provided it
+// has not yet chosen a production winner of its own. This is the fleet
+// warm-start path: a replica boots cold, starts sampling, and a peer's
+// winner record arrives over replication mid-round. Seeding then is still
+// profitable — the next sampling round orders the seeded winner first and
+// (with OrderByHistory) skips the rest of the round while it stays
+// acceptable — and still safe, because the acceptability test discards a
+// stale seed at the cost of one sampling interval. Knowledge the
+// controller has already measured wins over the seed: per-policy
+// aggregates are only restored for policies never sampled here, and a
+// controller that has entered production rejects the seed outright.
+func (c *Controller) LateSeed(seed Seed) error {
+	if c.lastWinnerOK {
+		return fmt.Errorf("core: LateSeed on a controller that already has a winner")
+	}
+	if c.phase == Idle {
+		return c.SeedHistory(seed)
+	}
+	if seed.Winner < 0 || seed.Winner >= len(c.cfg.Policies) {
+		return fmt.Errorf("core: seed winner %d out of range [0,%d)", seed.Winner, len(c.cfg.Policies))
+	}
+	if o := seed.WinnerOverhead; math.IsNaN(o) || o < 0 || o > 1 {
+		return fmt.Errorf("core: seed winner overhead %v outside [0,1]", o)
+	}
+	if seed.Stats != nil {
+		if len(seed.Stats) != len(c.stats) {
+			return fmt.Errorf("core: seed has %d policy stats, controller has %d policies",
+				len(seed.Stats), len(c.stats))
+		}
+		for i, st := range seed.Stats {
+			if c.stats[i].TimesSampled == 0 {
+				c.stats[i] = st
+			}
+		}
+	}
+	c.lastWinner = seed.Winner
+	c.lastWinnerOK = true
+	c.lastWinOver = seed.WinnerOverhead
+	return nil
+}
+
 // BestKnownPolicy returns the policy the controller would choose for
 // production given everything sampled so far in the current round, falling
 // back to the historical winner and then to policy 0.

@@ -96,6 +96,90 @@ func TestSeedHistoryDegradedFallsBackToFullSampling(t *testing.T) {
 	}
 }
 
+func TestLateSeedIdleDelegatesToSeedHistory(t *testing.T) {
+	c := seedController(t)
+	if err := c.LateSeed(Seed{Winner: 2, WinnerOverhead: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	c.BeginExecution(0)
+	if got := c.CurrentPolicy(); got != 2 {
+		t.Fatalf("first sampled policy = %d, want seeded winner 2", got)
+	}
+	c.CompletePhase(Nanos(10e6), meas(Nanos(0.1e9), 0, 1e9))
+	if c.Phase() != Production {
+		t.Errorf("phase = %v, want production after one seeded sample", c.Phase())
+	}
+}
+
+func TestLateSeedMidRoundValidation(t *testing.T) {
+	c := seedController(t)
+	c.BeginExecution(0) // running, no winner yet: the LateSeed window
+	if err := c.LateSeed(Seed{Winner: 3}); err == nil {
+		t.Error("out-of-range winner accepted")
+	}
+	if err := c.LateSeed(Seed{Winner: 0, WinnerOverhead: math.NaN()}); err == nil {
+		t.Error("NaN overhead accepted")
+	}
+	if err := c.LateSeed(Seed{Winner: 0, WinnerOverhead: 2}); err == nil {
+		t.Error("overhead above 1 accepted")
+	}
+	if err := c.LateSeed(Seed{Winner: 0, Stats: make([]PolicyStats, 1)}); err == nil {
+		t.Error("mis-sized stats accepted")
+	}
+	if err := c.LateSeed(Seed{Winner: 2, WinnerOverhead: 0.1}); err != nil {
+		t.Fatalf("valid mid-round seed rejected: %v", err)
+	}
+	if w, ok := c.LastWinner(); !ok || w != 2 {
+		t.Errorf("LastWinner = %d,%v want 2,true", w, ok)
+	}
+	if err := c.LateSeed(Seed{Winner: 1}); err == nil {
+		t.Error("seeding a controller that already has a winner accepted")
+	}
+}
+
+func TestLateSeedStatsFillOnlyUnsampledPolicies(t *testing.T) {
+	c := seedController(t)
+	c.BeginExecution(0)
+	// Policy 0 has a live measurement before the seed arrives.
+	c.CompletePhase(Nanos(10e6), meas(Nanos(0.2e9), 0, 1e9))
+	stats := []PolicyStats{
+		{TimesSampled: 9, LastOverhead: 0.9, TotalOverhead: 8.1},
+		{TimesSampled: 5, TimesChosen: 1, LastOverhead: 0.4, TotalOverhead: 2.0},
+		{TimesSampled: 5, TimesChosen: 4, LastOverhead: 0.1, TotalOverhead: 0.5},
+	}
+	if err := c.LateSeed(Seed{Winner: 2, WinnerOverhead: 0.1, Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Stats()
+	if got[0].TimesSampled != 1 || got[0].LastOverhead != 0.2 {
+		t.Errorf("live measurement overwritten by seed: %+v", got[0])
+	}
+	if got[1].TimesSampled != 5 || got[2].TimesChosen != 4 {
+		t.Errorf("unsampled policies not filled from seed: %+v", got[1:])
+	}
+}
+
+// TestLateSeedDoesNotOverrideMeasuredRound: a seed that arrives while a
+// round is in flight must not beat the round's own fresh measurements —
+// production goes to the measured best, not blindly to the seeded winner.
+func TestLateSeedDoesNotOverrideMeasuredRound(t *testing.T) {
+	c := seedController(t)
+	c.BeginExecution(0)
+	now := Nanos(10e6)
+	c.CompletePhase(now, meas(Nanos(0.2e9), 0, 1e9)) // policy 0: 0.2, the best
+	if err := c.LateSeed(Seed{Winner: 2, WinnerOverhead: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	overheads := map[int]Nanos{1: Nanos(0.4e9), 2: Nanos(0.3e9)}
+	for c.Phase() == Sampling {
+		now += Nanos(10e6)
+		c.CompletePhase(now, meas(overheads[c.CurrentPolicy()], 0, 1e9))
+	}
+	if got := c.CurrentPolicy(); got != 0 {
+		t.Errorf("production policy = %d, want measured best 0 over seeded 2", got)
+	}
+}
+
 func TestSeedHistoryRestoresStats(t *testing.T) {
 	c := seedController(t)
 	stats := []PolicyStats{

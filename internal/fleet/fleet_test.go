@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestRunDemo runs the full fleet scenario in-process: cold discovery,
+// live warm start, boot warm start, tenant isolation, metrics scrapes,
+// and clean drains. It is the same path cmd/dfload and the CI smoke job
+// exercise.
+func TestRunDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet demo drives real load; skipped in -short")
+	}
+	dir := t.TempDir()
+	report, err := RunDemo(context.Background(), DemoConfig{
+		Replicas:   3,
+		Section:    "sort",
+		Iters:      2000,
+		QPS:        100,
+		Duration:   20 * time.Second, // per-phase bound; convergence ends phases early
+		Sampling:   2 * time.Millisecond,
+		Production: 300 * time.Millisecond,
+		MetricsDir: dir,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("RunDemo: %v (report %+v)", err, report)
+	}
+	if len(report.Replicas) != 3 {
+		t.Fatalf("got %d replica reports, want 3", len(report.Replicas))
+	}
+	cold := report.Replicas[0]
+	if cold.WarmStartHits != 0 {
+		t.Errorf("cold replica warm-started (hits=%d)", cold.WarmStartHits)
+	}
+	if cold.Winner == "" {
+		t.Error("cold replica has no winner")
+	}
+	for _, rr := range report.Replicas[1:] {
+		if rr.WarmStartHits == 0 {
+			t.Errorf("replica %s: no warm-start hits", rr.Name)
+		}
+		if rr.Winner != cold.Winner {
+			t.Errorf("replica %s: winner %q, fleet winner %q", rr.Name, rr.Winner, cold.Winner)
+		}
+		if rr.SampledAtWinner >= cold.SampledAtWinner {
+			t.Errorf("replica %s: sampled %d intervals, cold sampled %d — warm start bought nothing",
+				rr.Name, rr.SampledAtWinner, cold.SampledAtWinner)
+		}
+	}
+	if report.Isolated.WarmStartHits != 0 {
+		t.Errorf("off-tenant replica warm-started (hits=%d)", report.Isolated.WarmStartHits)
+	}
+
+	// The scrapes must exist and carry the fleet's evidence.
+	for _, name := range []string{"hub", "replica-1", "replica-2", "replica-3", "isolated"} {
+		body, err := os.ReadFile(filepath.Join(dir, name+".prom"))
+		if err != nil {
+			t.Fatalf("missing metrics scrape: %v", err)
+		}
+		if name == "hub" {
+			if !strings.Contains(string(body), "dfstored_pushes_total") {
+				t.Errorf("hub scrape lacks dfstored_pushes_total")
+			}
+			continue
+		}
+		if !strings.Contains(string(body), "dfserved_warm_start_hits_total") {
+			t.Errorf("%s scrape lacks dfserved_warm_start_hits_total", name)
+		}
+	}
+}
+
+// TestDriveAgainstReplica exercises the external-target mode: a lone
+// replica with no hub, driven directly.
+func TestDriveAgainstReplica(t *testing.T) {
+	r, err := StartReplica(ReplicaConfig{
+		Name:           "solo",
+		Workers:        2,
+		TargetSampling: 2 * time.Millisecond,
+		Logger:         quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		if err := r.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	rep := Drive(context.Background(), r.URL, LoadConfig{
+		Section: "sort", Iters: 1000, QPS: 200, Duration: 2 * time.Second,
+		Until: func() bool {
+			p, err := Probe(context.Background(), r.URL)
+			return err == nil && p.Sections["sort"].Winner != ""
+		},
+	})
+	if rep.Requests == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	p, err := Probe(context.Background(), r.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sections["sort"].Winner == "" {
+		t.Error("no winner after sustained load")
+	}
+}

@@ -34,6 +34,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -44,7 +45,9 @@ import (
 	"repro/dynfb"
 	"repro/dynfb/store"
 	"repro/internal/apps"
+	"repro/internal/buildinfo"
 	"repro/internal/interp"
+	"repro/internal/metrics"
 	"repro/internal/perturb"
 	"repro/internal/simcache"
 	"repro/internal/simmach"
@@ -63,8 +66,20 @@ type Config struct {
 	// Store, when non-nil, persists each section's policy record and
 	// warm-starts matching sections at boot (unless ColdStart).
 	Store store.Store
+	// Backend, when non-nil, supersedes Store: sections persist through a
+	// tenant-scoped view of the backend (see Tenant), and the server
+	// subscribes to backend updates so a winner record replicated from a
+	// fleet peer warm-starts the matching cold section live, without a
+	// restart. The server does not close the backend; the caller owns it.
+	Backend store.Backend
+	// Tenant namespaces this server's records in a shared Backend. Fleet
+	// members serving different applications set different tenants and
+	// never see one another's policies. Default "" (the shared namespace).
+	Tenant string
 	// ColdStart disables warm-starting from the Store.
 	ColdStart bool
+	// Logger receives structured logs. Default slog.Default().
+	Logger *slog.Logger
 	// MaxConcurrent bounds concurrently executing workload runs across the
 	// shared pool. Default runtime.GOMAXPROCS(0), so the pool scales with
 	// the host: every simulated run is independent and deterministic, and
@@ -85,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.Backend != nil {
+		c.Store = store.NewTenantStore(c.Backend, c.Tenant)
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -120,6 +141,17 @@ type Server struct {
 	requests atomic.Int64
 	runsOK   atomic.Int64
 	runsErr  atomic.Int64
+
+	// warmHits counts warm starts: sections seeded from the store at boot
+	// plus sections reseeded live from a replicated fleet record. A fleet
+	// replica with warmHits > 0 demonstrably skipped sampling work thanks
+	// to a peer's experience.
+	warmHits atomic.Int64
+
+	reg         *metrics.Registry
+	runSeconds  *metrics.Histogram
+	cancelWatch func()
+	draining    atomic.Bool
 }
 
 // adaptEventJSON is one controller adaptation event: after which sampling
@@ -177,15 +209,89 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: section %s: %w", w.name, err)
 		}
+		if sec.WarmStarted() {
+			s.warmHits.Add(1)
+			cfg.Logger.Info("section warm-started from store", "section", w.name, "tenant", cfg.Tenant)
+		}
 		reg := &section{w: w, sec: sec}
 		s.secs = append(s.secs, reg)
 		s.byName[w.name] = reg
 	}
+	if cfg.Backend != nil && !cfg.ColdStart {
+		// Live fleet warm start: when a record for one of our cold
+		// sections lands in the backend (replicated from a peer or written
+		// by a co-tenant process), reseed that section so it adopts the
+		// fleet's winner without restarting.
+		s.cancelWatch = cfg.Backend.Watch(func(rec store.VersionedRecord) {
+			if rec.Key.Tenant != cfg.Tenant {
+				return
+			}
+			reg, ok := s.byName[rec.Key.Section]
+			if !ok || reg.sec.WarmStarted() {
+				return
+			}
+			if reg.sec.Reseed() {
+				s.warmHits.Add(1)
+				cfg.Logger.Info("section warm-started from fleet record",
+					"section", rec.Key.Section, "tenant", cfg.Tenant, "origin", rec.Origin)
+			}
+		})
+	}
+	s.registerMetrics()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /sections", s.handleSections)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s, nil
+}
+
+// registerMetrics builds the /metrics registry: request and run counters,
+// run latencies, per-section adaptation switches, warm-start hits, and —
+// when the store is replicated — sync lag and pending-push gauges.
+func (s *Server) registerMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.reg.BuildInfo()
+	s.reg.GaugeFunc("dfserved_requests_total",
+		"HTTP requests received.", func() float64 { return float64(s.requests.Load()) })
+	s.reg.GaugeFunc("dfserved_runs_ok_total",
+		"Workload runs completed successfully.", func() float64 { return float64(s.runsOK.Load()) })
+	s.reg.GaugeFunc("dfserved_runs_err_total",
+		"Workload runs rejected or failed.", func() float64 { return float64(s.runsErr.Load()) })
+	s.reg.GaugeFunc("dfserved_warm_start_hits_total",
+		"Sections seeded from a store record (at boot or live from the fleet).",
+		func() float64 { return float64(s.warmHits.Load()) })
+	s.reg.GaugeFunc("dfserved_uptime_seconds",
+		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
+	s.runSeconds = s.reg.Histogram("dfserved_run_seconds",
+		"Wall-clock latency of workload runs.", metrics.DurationBuckets)
+	s.reg.GaugeVecFunc("dfserved_section_switches",
+		"Adaptation events per section: production entries that changed the chosen variant.",
+		[]string{"section"}, func() []metrics.LabeledValue {
+			out := make([]metrics.LabeledValue, 0, len(s.secs))
+			for _, reg := range s.secs {
+				snap := reg.sec.StatsSnapshot()
+				out = append(out, metrics.LabeledValue{
+					Labels: []string{reg.w.name}, Value: float64(snap.Switches)})
+			}
+			return out
+		})
+	if rs, ok := s.cfg.Backend.(*store.ReplStore); ok {
+		s.reg.GaugeFunc("dfserved_store_sync_lag_seconds",
+			"Time since the replicated store last synchronized with the hub.",
+			func() float64 { return rs.Status().SyncLag(time.Now()).Seconds() })
+		s.reg.GaugeFunc("dfserved_store_connected",
+			"1 while the replicated store is connected to the hub, 0 when partitioned.",
+			func() float64 {
+				if rs.Status().Connected {
+					return 1
+				}
+				return 0
+			})
+		s.reg.GaugeFunc("dfserved_store_pending_pushes",
+			"Local records waiting to be pushed to the hub.",
+			func() float64 { return float64(rs.Status().Pending) })
+	}
 }
 
 // Handler returns the HTTP handler.
@@ -196,8 +302,14 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Close persists every section's record (best effort, first error wins).
+// Close stops the backend watch and persists every section's record
+// (best effort, first error wins). It does not close the Backend — the
+// caller owns it and typically flushes it after the HTTP listener drains.
 func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.cancelWatch != nil {
+		s.cancelWatch()
+	}
 	var first error
 	for _, reg := range s.secs {
 		if err := reg.sec.Persist(); err != nil && first == nil {
@@ -206,6 +318,10 @@ func (s *Server) Close() error {
 	}
 	return first
 }
+
+// WarmStartHits counts sections seeded from a store record, at boot or
+// live from a replicated fleet record.
+func (s *Server) WarmStartHits() int64 { return s.warmHits.Load() }
 
 // SectionNames returns the registered native section names.
 func (s *Server) SectionNames() []string {
@@ -229,8 +345,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
+		"version":        buildinfo.Version(),
+		"go":             buildinfo.Runtime(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"sections":       len(s.secs),
 		"requests":       s.requests.Load(),
@@ -256,6 +378,7 @@ type snapshotJSON struct {
 	Winner         string        `json:"winner,omitempty"`
 	WinnerOverhead float64       `json:"winner_overhead"`
 	WarmStarted    bool          `json:"warm_started"`
+	Switches       int           `json:"switches"`
 	Variants       []variantJSON `json:"variants"`
 }
 
@@ -267,6 +390,7 @@ func toSnapshotJSON(snap dynfb.Snapshot) snapshotJSON {
 		Winner:         snap.Winner,
 		WinnerOverhead: snap.WinnerOverhead,
 		WarmStarted:    snap.WarmStarted,
+		Switches:       snap.Switches,
 	}
 	for _, st := range snap.Stats {
 		out.Variants = append(out.Variants, variantJSON{
@@ -319,14 +443,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := map[string]any{
 		"server": map[string]any{
-			"uptime_seconds": time.Since(s.start).Seconds(),
-			"requests":       s.requests.Load(),
-			"runs_ok":        s.runsOK.Load(),
-			"runs_err":       s.runsErr.Load(),
-			"max_concurrent": s.cfg.MaxConcurrent,
-			"store":          s.cfg.Store != nil,
+			"uptime_seconds":  time.Since(s.start).Seconds(),
+			"version":         buildinfo.Version(),
+			"requests":        s.requests.Load(),
+			"runs_ok":         s.runsOK.Load(),
+			"runs_err":        s.runsErr.Load(),
+			"max_concurrent":  s.cfg.MaxConcurrent,
+			"store":           s.cfg.Store != nil,
+			"tenant":          s.cfg.Tenant,
+			"warm_start_hits": s.warmHits.Load(),
 		},
 		"sections": sections,
+	}
+	if rs, ok := s.cfg.Backend.(*store.ReplStore); ok {
+		st := rs.Status()
+		doc["store_sync"] = map[string]any{
+			"connected":        st.Connected,
+			"hub_seq":          st.HubSeq,
+			"pending_pushes":   st.Pending,
+			"sync_lag_seconds": st.SyncLag(time.Now()).Seconds(),
+		}
 	}
 	if s.cfg.Cache != nil {
 		doc["simcache"] = s.cfg.Cache.Stats()
@@ -442,6 +578,7 @@ func (s *Server) runSection(w http.ResponseWriter, r *http.Request, req runReque
 	wall := time.Since(start)
 	reg.mu.Unlock()
 
+	s.runSeconds.Observe(wall.Seconds())
 	reg.runs.Add(1)
 	reg.iters.Add(int64(iters))
 	s.runsOK.Add(1)
@@ -582,6 +719,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		}
 	}
 	wall := time.Since(start)
+	s.runSeconds.Observe(wall.Seconds())
 
 	type appSectionJSON struct {
 		Name       string           `json:"name"`
