@@ -14,12 +14,21 @@
 // against the cached record, and -cache-timing runs a second, warm pass
 // against the populated cache and records the cold/warm speedup.
 //
+// OBL programs execute on the register bytecode VM by default; -engine
+// interp selects the step-interpreter, and -engine-timing runs the suite
+// cold under both engines, verifies the reports are byte-identical, and
+// records both wall-clocks. -scaling reruns the suite cold at each named
+// parallelism and records the wall-clock curve; -cpuprofile writes a Go
+// CPU profile of the whole run.
+//
 // Usage:
 //
 //	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
 //	        [-perturb crossover|ramp|periodic|skew|all]
 //	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
 //	        [-cache dir] [-cache-mem N] [-cache-verify] [-cache-timing]
+//	        [-engine vm|interp] [-engine-timing] [-scaling 1,2,4]
+//	        [-cpuprofile path]
 //
 // -perturb selects the adaptivity experiment for one or more named
 // perturbation scenarios (internal/perturb): the environment changes
@@ -34,11 +43,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/interp"
 	"repro/internal/parexec"
 	"repro/internal/perturb"
 	"repro/internal/simcache"
@@ -58,7 +69,24 @@ func main() {
 	cacheMem := flag.Int("cache-mem", 0, "in-memory cache capacity in entries (default 1024; negative disables the memory tier)")
 	cacheVerify := flag.Bool("cache-verify", false, "re-simulate every cache hit and byte-compare it against the cached record; implies a warm verification pass")
 	cacheTiming := flag.Bool("cache-timing", false, "rerun the suite warm against the populated cache and record the cold/warm speedup")
+	engine := flag.String("engine", "", "execution engine: vm (default) or interp")
+	engineTiming := flag.Bool("engine-timing", false, "rerun the suite cold under the other engine, record both wall-clocks, and verify the reports are byte-identical")
+	scaling := flag.String("scaling", "", "comma-separated parallelism levels (e.g. 1,2,4): rerun the suite cold at each, record the wall-clock curve, and verify the reports are byte-identical")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -66,7 +94,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par)}
+	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par), Engine: *engine}
 	var cache *simcache.Cache
 	if *cacheDir != "" || *cacheVerify || *cacheTiming {
 		// Verify and timing passes work against a memory-only cache when no
@@ -180,6 +208,64 @@ func main() {
 			cacheInfo.Stats.Puts, cacheInfo.Stats.Errors)
 	}
 
+	var engineInfo *engineJSON
+	if *engineTiming {
+		// Two cold, cache-detached passes — one per engine. Byte-identical
+		// reports are the differential gate for the bytecode VM; the two
+		// wall-clocks are the speedup evidence.
+		engineInfo = &engineJSON{}
+		for _, eng := range []string{interp.EngineVM, interp.EngineInterp} {
+			ecfg := cfg
+			ecfg.Cache, ecfg.CacheVerify = nil, false
+			ecfg.Engine = eng
+			engReports, _, ems, err := runSuite(ecfg, selected, cfg.Parallelism)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: %s engine pass: %v\n", eng, err)
+				os.Exit(1)
+			}
+			for i, rep := range reports {
+				if rep.Format() != engReports[i].Format() {
+					fmt.Fprintf(os.Stderr, "dfbench: ENGINE VIOLATION: %s differs under engine %s\n", rep.ID, eng)
+					os.Exit(1)
+				}
+			}
+			if eng == interp.EngineVM {
+				engineInfo.VMWallMS = ems
+			} else {
+				engineInfo.InterpWallMS = ems
+			}
+		}
+		engineInfo.VMSpeedup = engineInfo.InterpWallMS / engineInfo.VMWallMS
+		fmt.Printf("engine wall-clock: vm %.0f ms, interp %.0f ms; vm %.2fx faster; reports byte-identical\n",
+			engineInfo.VMWallMS, engineInfo.InterpWallMS, engineInfo.VMSpeedup)
+	}
+
+	var scalingInfo []scalePoint
+	if *scaling != "" {
+		for _, part := range strings.Split(*scaling, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dfbench: bad -scaling entry %q\n", part)
+				os.Exit(2)
+			}
+			scfg := cfg
+			scfg.Cache, scfg.CacheVerify = nil, false
+			scaleReports, _, sms, err := runSuite(scfg, selected, n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: scaling pass p=%d: %v\n", n, err)
+				os.Exit(1)
+			}
+			for i, rep := range reports {
+				if rep.Format() != scaleReports[i].Format() {
+					fmt.Fprintf(os.Stderr, "dfbench: DETERMINISM VIOLATION: %s differs at parallelism %d\n", rep.ID, n)
+					os.Exit(1)
+				}
+			}
+			scalingInfo = append(scalingInfo, scalePoint{Parallelism: n, WallMS: sms})
+			fmt.Printf("scaling: parallelism %d: %.0f ms; reports byte-identical\n", n, sms)
+		}
+	}
+
 	serialMS, speedupX := 0.0, 0.0
 	if *speedup {
 		// A cold serial pass over a fresh suite — with the simulation cache
@@ -205,7 +291,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo); err != nil {
+		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo, engineInfo, scalingInfo); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
 			os.Exit(1)
 		}
@@ -260,11 +346,28 @@ type cacheJSON struct {
 	Stats         simcache.Stats `json:"stats"`
 }
 
+// engineJSON records the -engine-timing comparison: one cold pass per
+// execution engine over the same experiments, with byte-identical reports
+// enforced before either wall-clock is trusted.
+type engineJSON struct {
+	VMWallMS     float64 `json:"vm_wall_ms"`
+	InterpWallMS float64 `json:"interp_wall_ms"`
+	VMSpeedup    float64 `json:"vm_speedup"`
+}
+
+// scalePoint is one entry of the -scaling wall-clock curve: the suite run
+// cold at a given experiment-level parallelism.
+type scalePoint struct {
+	Parallelism int     `json:"parallelism"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
 // writeJSON stores every report plus run metadata and host wall-clock
 // timing as one JSON document (BENCH_suite.json by default), so benchmark
 // results accumulate as a perf trajectory across changes.
 func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, walls []float64,
-	totalMS, serialMS, speedup float64, failed int, cacheInfo *cacheJSON) error {
+	totalMS, serialMS, speedup float64, failed int, cacheInfo *cacheJSON,
+	engineInfo *engineJSON, scalingInfo []scalePoint) error {
 	type expJSON struct {
 		*bench.Report
 		HostWallMS float64 `json:"host_wall_ms"`
@@ -273,28 +376,38 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 	for i, rep := range reports {
 		exps[i] = expJSON{Report: rep, HostWallMS: walls[i]}
 	}
+	engine := cfg.Engine
+	if engine == "" {
+		engine = interp.EngineVM
+	}
 	doc := struct {
-		GeneratedAt  string     `json:"generated_at"`
-		Quick        bool       `json:"quick"`
-		Procs        []int      `json:"procs,omitempty"`
-		HostCPUs     int        `json:"host_cpus"`
-		Parallelism  int        `json:"parallelism"`
-		TotalWallMS  float64    `json:"total_wall_ms"`
-		SerialWallMS float64    `json:"serial_wall_ms,omitempty"`
-		Speedup      float64    `json:"speedup_vs_serial,omitempty"`
-		Cache        *cacheJSON `json:"cache,omitempty"`
-		FailedChecks int        `json:"failed_checks"`
-		Experiments  []expJSON  `json:"experiments"`
+		GeneratedAt  string       `json:"generated_at"`
+		Quick        bool         `json:"quick"`
+		Procs        []int        `json:"procs,omitempty"`
+		HostCPUs     int          `json:"host_cpus"`
+		Parallelism  int          `json:"parallelism"`
+		Engine       string       `json:"engine"`
+		TotalWallMS  float64      `json:"total_wall_ms"`
+		SerialWallMS float64      `json:"serial_wall_ms,omitempty"`
+		Speedup      float64      `json:"speedup_vs_serial,omitempty"`
+		Cache        *cacheJSON   `json:"cache,omitempty"`
+		Engines      *engineJSON  `json:"engines,omitempty"`
+		Scaling      []scalePoint `json:"scaling,omitempty"`
+		FailedChecks int          `json:"failed_checks"`
+		Experiments  []expJSON    `json:"experiments"`
 	}{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Quick:        cfg.Quick,
 		Procs:        cfg.Procs,
 		HostCPUs:     runtime.NumCPU(),
 		Parallelism:  cfg.Parallelism,
+		Engine:       engine,
 		TotalWallMS:  totalMS,
 		SerialWallMS: serialMS,
 		Speedup:      speedup,
 		Cache:        cacheInfo,
+		Engines:      engineInfo,
+		Scaling:      scalingInfo,
 		FailedChecks: failed,
 		Experiments:  exps,
 	}

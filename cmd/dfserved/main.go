@@ -42,6 +42,7 @@ import (
 
 	"repro/dynfb/store"
 	"repro/internal/buildinfo"
+	"repro/internal/interp"
 	"repro/internal/serve"
 	"repro/internal/simcache"
 )
@@ -59,6 +60,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing workload runs (default GOMAXPROCS)")
 	cold := flag.Bool("cold", false, "ignore stored records at boot (always cold-start)")
 	simcacheDir := flag.String("simcache", "", "content-addressed simulation cache directory for OBL runs (empty disables)")
+	engine := flag.String("engine", "", "OBL execution engine: vm (default) or interp; results are byte-identical")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -78,6 +80,10 @@ func main() {
 		fatal(fmt.Errorf("-tenant needs a store to namespace: set -hub, -store or -kv"))
 	}
 
+	if *engine != "" && *engine != interp.EngineVM && *engine != interp.EngineInterp {
+		fmt.Fprintf(os.Stderr, "dfserved: unknown engine %q (want %s or %s)\n", *engine, interp.EngineVM, interp.EngineInterp)
+		os.Exit(2)
+	}
 	cfg := serve.Config{
 		Workers:          *workers,
 		TargetSampling:   *sampling,
@@ -86,6 +92,7 @@ func main() {
 		ColdStart:        *cold,
 		Tenant:           *tenant,
 		Logger:           logger,
+		Engine:           *engine,
 	}
 
 	// The local store: a JSON file, an embedded KV directory, or memory.

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/perturb"
+	"repro/internal/simmach"
+)
+
+// adaptParityCells replicates each adaptivity experiment's scenario cell —
+// application, schedule, params, and controller tuning — so the engine
+// parity test can reach the raw results (and their Switches) behind the
+// rendered report.
+var adaptParityCells = []struct {
+	id     string
+	app    string
+	sched  *perturb.Schedule
+	params map[string]int64
+	tune   func(*interp.Options)
+}{
+	{"adapt-crossover", apps.NameWater, perturb.Crossover(), adaptWaterParams(48, 24),
+		func(o *interp.Options) { o.OrderByHistory = true }},
+	{"adapt-ramp", apps.NameWater, perturb.Ramp(), adaptWaterParams(48, 24),
+		func(o *interp.Options) { o.TargetProduction = 60 * simmach.Millisecond; o.SpanExecutions = true }},
+	{"adapt-periodic", apps.NameWater, perturb.Periodic(), adaptWaterParams(32, 40),
+		func(o *interp.Options) { o.OrderByHistory = false }},
+	{"adapt-skew", apps.NameBarnesHut, perturb.Skew(),
+		map[string]int64{"nbodies": 256, "listlen": 24, "interwork": 20000, "npasses": 16, "serialwork": 4000},
+		func(o *interp.Options) { o.OrderByHistory = true }},
+}
+
+// TestAdaptExperimentsEngineParity runs every adaptivity experiment once
+// per execution engine: the rendered reports (BENCH rows included) must be
+// byte-identical, and each policy's section switch histories must match
+// exactly.
+func TestAdaptExperimentsEngineParity(t *testing.T) {
+	for _, cell := range adaptParityCells {
+		e, ok := ExperimentByID(cell.id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", cell.id)
+		}
+		var formats []string
+		var switches [][][]interp.SwitchStat
+		for _, engine := range []string{interp.EngineInterp, interp.EngineVM} {
+			s := NewSuite(SuiteConfig{Parallelism: 1, Engine: engine})
+			rep, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", cell.id, engine, err)
+			}
+			formats = append(formats, rep.Format())
+			// Same suite, same options as the experiment: the scenario
+			// results come from the suite's memo, so the switch histories
+			// are the ones behind the rows just rendered.
+			results, err := runScenario(s, cell.app, cell.sched, cell.params, cell.tune)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", cell.id, engine, err)
+			}
+			var sw [][]interp.SwitchStat
+			for _, res := range results {
+				for _, sec := range res.Sections {
+					sw = append(sw, sec.Switches)
+				}
+			}
+			switches = append(switches, sw)
+		}
+		if formats[0] != formats[1] {
+			t.Errorf("%s: BENCH rows differ between engines:\n--- interp ---\n%s\n--- vm ---\n%s",
+				cell.id, formats[0], formats[1])
+		}
+		if !reflect.DeepEqual(switches[0], switches[1]) {
+			t.Errorf("%s: switch histories differ between engines", cell.id)
+		}
+	}
+}

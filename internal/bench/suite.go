@@ -48,6 +48,14 @@ type SuiteConfig struct {
 	// turning the determinism claim into a checked invariant. A mismatch
 	// is an error, not a silent fallback.
 	CacheVerify bool
+	// Engine selects the execution engine for every simulation
+	// (interp.EngineVM or interp.EngineInterp; empty uses the interp
+	// default, the VM). Both engines produce byte-identical results —
+	// dfbench -engine-timing runs the suite under each and checks it —
+	// so the engine is deliberately absent from content-addressed cache
+	// keys; it only enters the in-process memo keys so timing passes
+	// under different engines never share cells.
+	Engine string
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -225,10 +233,10 @@ func (s *Suite) Params(name string) map[string]int64 {
 // simulated machine. It is safe for concurrent use; identical
 // configurations are simulated exactly once.
 func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
-	key := fmt.Sprintf("%s|%d|%s|%d|%d|%v%v%v%v%v|%d", name, opts.Procs, opts.Policy,
+	key := fmt.Sprintf("%s|%d|%s|%d|%d|%v%v%v%v%v|%d|%s", name, opts.Procs, opts.Policy,
 		opts.TargetSampling, opts.TargetProduction,
 		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
-		opts.AutoTuneProduction, opts.InstrumentationCost)
+		opts.AutoTuneProduction, opts.InstrumentationCost, s.cfg.Engine)
 	return s.runs.Do(key, func() (*interp.Result, error) {
 		c, err := s.App(name)
 		if err != nil {
@@ -248,10 +256,10 @@ func (s *Suite) RunWith(name string, opts interp.Options) (*interp.Result, error
 	for _, k := range sortedKeys(opts.Params) {
 		fmt.Fprintf(&pb, "%s=%d,", k, opts.Params[k])
 	}
-	key := fmt.Sprintf("%s|with|%d|%s|%d|%d|%v%v%v%v%v|%d|%s|%s", name, opts.Procs, opts.Policy,
+	key := fmt.Sprintf("%s|with|%d|%s|%d|%d|%v%v%v%v%v|%d|%s|%s|%s", name, opts.Procs, opts.Policy,
 		opts.TargetSampling, opts.TargetProduction,
 		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
-		opts.AutoTuneProduction, opts.InstrumentationCost, pb.String(), opts.Perturb.Key())
+		opts.AutoTuneProduction, opts.InstrumentationCost, pb.String(), opts.Perturb.Key(), s.cfg.Engine)
 	return s.runs.Do(key, func() (*interp.Result, error) {
 		c, err := s.App(name)
 		if err != nil {
@@ -263,7 +271,7 @@ func (s *Suite) RunWith(name string, opts interp.Options) (*interp.Result, error
 
 // RunSerial executes the serial baseline.
 func (s *Suite) RunSerial(name string) (*interp.Result, error) {
-	return s.runs.Do(name+"|serial", func() (*interp.Result, error) {
+	return s.runs.Do(name+"|serial|"+s.cfg.Engine, func() (*interp.Result, error) {
 		c, err := s.App(name)
 		if err != nil {
 			return nil, err
@@ -318,6 +326,9 @@ func (s *Suite) simulate(prog *ir.Program, opts interp.Options, desc string) (*i
 func (s *Suite) execute(prog *ir.Program, opts interp.Options, desc string) (*interp.Result, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	if opts.Engine == "" {
+		opts.Engine = s.cfg.Engine
+	}
 	r, err := interp.Run(prog, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", desc, err)

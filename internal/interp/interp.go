@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obl/ir"
+	"repro/internal/obl/vm"
 	"repro/internal/perturb"
 	"repro/internal/simmach"
 )
@@ -92,6 +93,13 @@ type Options struct {
 	// allocates tracking state and is meant for the differential testing
 	// harness, not for measurement runs.
 	DetectRaces bool
+	// Engine selects the execution engine: EngineVM (default) compiles the
+	// program to register bytecode with profile-guided specialization and
+	// falls back to the interpreter automatically when compilation is not
+	// possible (e.g. hand-built programs without register-kind metadata);
+	// EngineInterp forces the direct IR interpreter. Both engines produce
+	// byte-identical Results, so the choice never appears in cache keys.
+	Engine string
 	// Trace, when set, receives every synchronization event of the
 	// simulated machine (lock acquires, blocks, grants, releases, barrier
 	// traffic) in virtual-time order.
@@ -126,8 +134,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = 2e9
 	}
+	if o.Engine == "" {
+		o.Engine = EngineVM
+	}
 	return o
 }
+
+// Execution engines.
+const (
+	EngineVM     = "vm"
+	EngineInterp = "interp"
+)
 
 // ExecutionStat describes one execution of a parallel section.
 type ExecutionStat struct {
@@ -248,6 +265,9 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	if err := CheckExterns(p); err != nil {
 		return nil, err
 	}
+	if opts.Engine != EngineVM && opts.Engine != EngineInterp {
+		return nil, fmt.Errorf("interp: unknown engine %q", opts.Engine)
+	}
 	if opts.Policy != PolicyDynamic {
 		for _, sec := range p.Sections {
 			if _, ok := sec.PolicyVersion[opts.Policy]; !ok {
@@ -302,18 +322,47 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 			rt.paramVals[i] = v
 		}
 	}
+	// Engine selection. The VM engine needs a successful bytecode
+	// compilation; otherwise the run silently uses the interpreter, which
+	// accepts any verified program. The first completed VM run of a
+	// program doubles as its profiling pass: its counters feed
+	// vm.Specialize, and the specialization claim is re-opened if the run
+	// fails before finishing.
+	var vmEntry *vmModEntry
+	var vmProf *vm.Profile
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(runtimeErr); ok {
 				res, err = nil, fmt.Errorf("interp: %s", re.msg)
-				return
+			} else {
+				panic(r)
 			}
-			panic(r)
+		}
+		if vmProf == nil {
+			return
+		}
+		if err != nil {
+			vmEntry.release()
+		} else {
+			vmEntry.finish(vmProf)
 		}
 	}()
-	main := &task{rt: rt, isMain: true}
-	main.pushCall(p.MainID, ir.NoReg)
-	rt.m.Start(0, main)
+	usedVM := false
+	if opts.Engine == EngineVM {
+		if e := vmModuleFor(p); e.err == nil {
+			mod, prof := e.acquire()
+			vt := &vmTask{rt: rt, mod: mod, isMain: true, prof: prof}
+			vt.sites = make([]lockSite, mod.NumLockSites)
+			vt.push(p.MainID, -1, 0)
+			rt.m.Start(0, vt)
+			vmEntry, vmProf, usedVM = e, prof, true
+		}
+	}
+	if !usedVM {
+		main := &task{rt: rt, isMain: true}
+		main.pushCall(p.MainID, ir.NoReg)
+		rt.m.Start(0, main)
+	}
 	if err := rt.m.Run(); err != nil {
 		return nil, err
 	}
@@ -376,7 +425,9 @@ type runtime struct {
 	// workers holds the reusable worker tasks for processors 1..Procs-1;
 	// each parallel section resets and restarts them, so frame and operand
 	// storage is allocated once per run instead of once per section.
-	workers []*task
+	// vmWorkers is the same pool for bytecode-engine runs.
+	workers   []*task
+	vmWorkers []*vmTask
 	// race is the dynamic race detector, nil unless Options.DetectRaces.
 	race *raceDetector
 }

@@ -1,0 +1,97 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/obl/ir"
+)
+
+// Engine micro-benchmarks: the same programs as the interpreter
+// benchmarks above, run once per execution engine so the bytecode VM's
+// dispatch, call, extern, and lock paths read side by side with the
+// interpreter's. The engine loops re-run complete interp.Run calls; under
+// the vm engine the first call of a fresh process profiles and every
+// later call executes the specialized module, so steady-state iterations
+// measure the specialized tiers.
+
+func benchEngines(b *testing.B, prog *ir.Program, opts Options) {
+	for _, engine := range []string{EngineInterp, EngineVM} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			o := opts
+			o.Engine = engine
+			if engine == EngineVM {
+				// Consume the profiling pass outside the timed loop.
+				if _, err := Run(prog, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngineDispatch(b *testing.B) {
+	c := compile(b, benchDispatchSrc)
+	benchEngines(b, c.Serial, Options{Procs: 1})
+}
+
+func BenchmarkEngineCall(b *testing.B) {
+	c := compile(b, benchCallSrc)
+	benchEngines(b, c.Serial, Options{Procs: 1})
+}
+
+func BenchmarkEngineExtern(b *testing.B) {
+	c := compile(b, benchExternSrc)
+	benchEngines(b, c.Serial, Options{Procs: 1})
+}
+
+func BenchmarkEngineLockFastPath(b *testing.B) {
+	c := compile(b, benchLockSrc)
+	benchEngines(b, c.Parallel, Options{Procs: 4, Policy: "original"})
+}
+
+// BenchmarkVMSuperinstructionHitRate times the specialized dispatch loop
+// on the branch-heavy program and reports what fraction of the profiled
+// instruction stream executes inside fused superinstructions — the
+// profile-weighted coverage of the groups the specializer emitted.
+func BenchmarkVMSuperinstructionHitRate(b *testing.B) {
+	c := compile(b, benchDispatchSrc)
+	if _, err := Run(c.Serial, Options{Procs: 1}); err != nil {
+		b.Fatal(err)
+	}
+	e := vmModuleFor(c.Serial)
+	if e.err != nil {
+		b.Fatal(e.err)
+	}
+	spec, prof := e.spec.Load(), e.lastProf.Load()
+	if spec == nil || prof == nil {
+		b.Fatal("first run did not specialize the module")
+	}
+	var covered, total int64
+	for _, fc := range spec.Funcs {
+		for pc := range fc.Code {
+			n := prof.Counts[fc.ID][pc]
+			total += n
+			if l := fc.Code[pc].Len; l > 1 {
+				covered += n * int64(l)
+			}
+		}
+	}
+	if total == 0 {
+		b.Fatal("empty profile")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c.Serial, Options{Procs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// After ResetTimer: it deletes user-reported metrics.
+	b.ReportMetric(float64(covered)/float64(total), "fused-instr-fraction")
+}

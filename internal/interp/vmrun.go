@@ -1,0 +1,426 @@
+package interp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obl/ir"
+	"repro/internal/obl/vm"
+	"repro/internal/simmach"
+)
+
+// This file is the bytecode execution engine (Options.Engine == EngineVM).
+// It mirrors task/execSome over the typed register banks of a compiled
+// vm.Module. Equivalence with the interpreter is bit-exact and covers
+// everything a Result or a trace can observe: virtual times, machine
+// counters, scheduler step counts (so dispatch boundaries — the
+// stepBudget accounting, yield-first sync, claim and barrier points —
+// are reproduced instruction for instruction), program output, controller
+// samples and switches, and race-detector findings.
+
+// vmModEntry is the cached compile/specialization state of one program.
+// The first completed VM run claims the profiling pass; its counters
+// drive vm.Specialize, and every later run picks up the specialized
+// module. Profiling counters are maintained by the run's single machine
+// goroutine, so they need no synchronization.
+type vmModEntry struct {
+	mod  *vm.Module
+	err  error
+	spec atomic.Pointer[vm.Module]
+	prof atomic.Bool // profiling pass claimed
+	mu   sync.Mutex
+	// lastProf retains the profile that drove the specialization, for
+	// diagnostics and the superinstruction-coverage benchmarks.
+	lastProf atomic.Pointer[vm.Profile]
+}
+
+var vmModCache sync.Map // *ir.Program -> *vmModEntry
+
+func vmModuleFor(p *ir.Program) *vmModEntry {
+	if v, ok := vmModCache.Load(p); ok {
+		return v.(*vmModEntry)
+	}
+	e := &vmModEntry{}
+	e.mod, e.err = vm.Compile(p)
+	v, _ := vmModCache.LoadOrStore(p, e)
+	return v.(*vmModEntry)
+}
+
+// acquire picks the module for a run: the specialized one when available,
+// otherwise the baseline — claiming the profiling pass if still open.
+func (e *vmModEntry) acquire() (*vm.Module, *vm.Profile) {
+	if s := e.spec.Load(); s != nil {
+		return s, nil
+	}
+	if e.prof.CompareAndSwap(false, true) {
+		return e.mod, vm.NewProfile(e.mod)
+	}
+	return e.mod, nil
+}
+
+// finish installs the specialization built from a completed profiling run.
+func (e *vmModEntry) finish(p *vm.Profile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spec.Load() == nil {
+		e.spec.Store(vm.Specialize(e.mod, p))
+		e.lastProf.Store(p)
+	}
+}
+
+// release re-opens the profiling claim after a run that failed before
+// completing its profile.
+func (e *vmModEntry) release() {
+	e.prof.Store(false)
+}
+
+// vmFrame is one activation record over the three banks. The windows are
+// re-pointed whenever a bank arena grows. collapsed counts tail calls
+// that reused this frame; the eventual return replays their charges.
+type vmFrame struct {
+	fc                  *vm.FuncCode
+	pc                  int
+	ibase, fbase, rbase int
+	ints                []int64
+	floats              []float64
+	refs                []*Object
+	retSlot             int32
+	retBank             uint8
+	collapsed           int64
+}
+
+// lockSite is a per-run monomorphic cache for an OpAcquireU/OpReleaseU
+// site: profile-guided specialization applies these only to sites that
+// never blocked, which in the corpus are also sites that lock the same
+// object repeatedly.
+type lockSite struct {
+	obj  *Object
+	lock *simmach.Lock
+}
+
+// vmTask drives one processor, exactly as task does for the interpreter.
+type vmTask struct {
+	rt         *runtime
+	mod        *vm.Module
+	frames     []vmFrame
+	isMain     bool
+	sr         *sectionRun
+	flags      []bool
+	baseFrames int
+	wphase     int
+	executed   int
+	acc        simmach.Time
+	// Per-bank register arenas backing every frame's windows.
+	intStack   []int64
+	floatStack []float64
+	refStack   []*Object
+	extArgs    []Value
+	held       []*simmach.Lock
+	sites      []lockSite
+	prof       *vm.Profile
+	// collapsed sums the collapsed counters of every live frame, so the
+	// call-depth check sees the same stack height the interpreter would.
+	collapsed int64
+	// Tail-call argument scratch: parameter sources are read out before
+	// the frame's parameter slots are overwritten.
+	scrI []int64
+	scrF []float64
+	scrR []*Object
+}
+
+func (t *vmTask) flush(p *simmach.Proc) {
+	if t.acc > 0 {
+		p.Advance(t.acc)
+		t.acc = 0
+	}
+}
+
+// push opens a zeroed activation record. Only the original register
+// region of each bank is cleared; ranges appended by inline expansion are
+// zeroed lazily by OpCallEnter before use.
+func (t *vmTask) push(funcID int, retSlot int32, retBank uint8) {
+	fc := t.mod.Funcs[funcID]
+	ib, fb, rb := len(t.intStack), len(t.floatStack), len(t.refStack)
+	ti, tf, tr := ib+int(fc.FrameInts), fb+int(fc.FrameFloats), rb+int(fc.FrameRefs)
+	if ti <= cap(t.intStack) {
+		t.intStack = t.intStack[:ti]
+	} else {
+		t.growInts(ti)
+	}
+	if tf <= cap(t.floatStack) {
+		t.floatStack = t.floatStack[:tf]
+	} else {
+		t.growFloats(tf)
+	}
+	if tr <= cap(t.refStack) {
+		t.refStack = t.refStack[:tr]
+	} else {
+		t.growRefs(tr)
+	}
+	ints := t.intStack[ib:ti:ti]
+	floats := t.floatStack[fb:tf:tf]
+	refs := t.refStack[rb:tr:tr]
+	clear(ints[:fc.NInts])
+	clear(floats[:fc.NFloats])
+	clear(refs[:fc.NRefs])
+	t.frames = append(t.frames, vmFrame{
+		fc: fc, ibase: ib, fbase: fb, rbase: rb,
+		ints: ints, floats: floats, refs: refs,
+		retSlot: retSlot, retBank: retBank,
+	})
+}
+
+func (t *vmTask) growInts(top int) {
+	nc := 2 * cap(t.intStack)
+	if nc < top {
+		nc = top
+	}
+	if nc < 64 {
+		nc = 64
+	}
+	g := make([]int64, top, nc)
+	copy(g, t.intStack)
+	t.intStack = g
+	for i := range t.frames {
+		f := &t.frames[i]
+		end := f.ibase + int(f.fc.FrameInts)
+		f.ints = t.intStack[f.ibase:end:end]
+	}
+}
+
+func (t *vmTask) growFloats(top int) {
+	nc := 2 * cap(t.floatStack)
+	if nc < top {
+		nc = top
+	}
+	if nc < 64 {
+		nc = 64
+	}
+	g := make([]float64, top, nc)
+	copy(g, t.floatStack)
+	t.floatStack = g
+	for i := range t.frames {
+		f := &t.frames[i]
+		end := f.fbase + int(f.fc.FrameFloats)
+		f.floats = t.floatStack[f.fbase:end:end]
+	}
+}
+
+func (t *vmTask) growRefs(top int) {
+	nc := 2 * cap(t.refStack)
+	if nc < top {
+		nc = top
+	}
+	if nc < 64 {
+		nc = 64
+	}
+	g := make([]*Object, top, nc)
+	copy(g, t.refStack)
+	t.refStack = g
+	for i := range t.frames {
+		f := &t.frames[i]
+		end := f.rbase + int(f.fc.FrameRefs)
+		f.refs = t.refStack[f.rbase:end:end]
+	}
+}
+
+func (t *vmTask) popFrame() {
+	fr := &t.frames[len(t.frames)-1]
+	t.intStack = t.intStack[:fr.ibase]
+	t.floatStack = t.floatStack[:fr.fbase]
+	t.refStack = t.refStack[:fr.rbase]
+	t.frames = t.frames[:len(t.frames)-1]
+}
+
+func (t *vmTask) reset(sr *sectionRun) {
+	t.sr = sr
+	t.frames = t.frames[:0]
+	t.intStack = t.intStack[:0]
+	t.floatStack = t.floatStack[:0]
+	t.refStack = t.refStack[:0]
+	t.flags = nil
+	t.baseFrames = 0
+	t.wphase = wClaim
+	t.executed = 0
+	t.held = t.held[:0]
+	t.collapsed = 0
+}
+
+func (t *vmTask) unhold(l *simmach.Lock) {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		if t.held[i] == l {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// Step implements simmach.Process; the structure matches task.Step.
+func (t *vmTask) Step(p *simmach.Proc) simmach.Status {
+	if t.rt.m.Steps() > t.rt.opts.MaxSteps {
+		if ps := t.rt.m.PerturbState(); ps != "" {
+			t.rt.fail("step budget exceeded (%d); possible livelock; %s", t.rt.opts.MaxSteps, ps)
+		} else {
+			t.rt.fail("step budget exceeded (%d); possible livelock", t.rt.opts.MaxSteps)
+		}
+	}
+	t.executed = 0
+	for {
+		if t.sr != nil && len(t.frames) == t.baseFrames {
+			st, again := t.sectionStep(p)
+			if !again {
+				return st
+			}
+			continue
+		}
+		if len(t.frames) == 0 {
+			t.flush(p)
+			return simmach.Done
+		}
+		st, again := t.exec(p)
+		if !again {
+			return st
+		}
+	}
+}
+
+// sectionStep advances the worker-level state machine; it is the same
+// state machine as task.sectionStep, with bank-typed argument fills.
+func (t *vmTask) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
+	sr := t.sr
+	if sr.finished {
+		if t.isMain {
+			t.sr = nil
+			t.baseFrames = 0
+			return 0, true
+		}
+		t.flush(p)
+		return simmach.Done, false
+	}
+	switch t.wphase {
+	case wClaim:
+		if t.executed > 0 {
+			t.flush(p)
+			return simmach.Ready, false
+		}
+		p.Advance(t.rt.opts.ClaimCost)
+		if sr.next >= sr.hi {
+			p.BarrierArrive(t.rt.barrier)
+			t.wphase = wAfterBarrier
+			return simmach.Blocked, false
+		}
+		iter := sr.next
+		sr.next++
+		sr.iterations++
+		if sr.dynamic {
+			p.Advance(t.rt.opts.DispatchCost)
+		}
+		v := sr.sec.Versions[sr.versionIdx]
+		t.flags = v.Flags
+		t.push(v.FuncID, -1, 0)
+		fr := &t.frames[len(t.frames)-1]
+		fc := fr.fc
+		for i, av := range sr.args {
+			switch fc.RegBank[i] {
+			case vm.BankFloat:
+				fr.floats[fc.RegSlot[i]] = av.F
+			case vm.BankRef:
+				fr.refs[fc.RegSlot[i]] = av.Ref
+			default:
+				fr.ints[fc.RegSlot[i]] = av.I
+			}
+		}
+		fr.ints[fc.RegSlot[len(sr.args)]] = iter
+		t.wphase = wBody
+		t.executed++
+		return 0, true
+	case wBody:
+		if sr.dynamic {
+			t.flush(p)
+			now := p.ReadTimer()
+			if sr.ctl.Expired(core.Nanos(now)) {
+				if t.rt.opts.AsyncSwitch {
+					sr.ctl.CompletePhase(core.Nanos(now), sr.measure())
+					sr.versionIdx = sr.ctl.CurrentPolicy()
+					sr.resnap()
+					t.wphase = wClaim
+					t.flush(p)
+					return simmach.Ready, false
+				}
+				p.BarrierArrive(t.rt.barrier)
+				t.wphase = wAfterBarrier
+				return simmach.Blocked, false
+			}
+		}
+		t.wphase = wClaim
+		t.flush(p)
+		return simmach.Ready, false
+	case wAfterBarrier:
+		t.wphase = wClaim
+		return 0, true
+	}
+	t.rt.fail("bad worker phase %d", t.wphase)
+	return simmach.Done, false
+}
+
+// enterSection handles OpParallel on the main task.
+func (t *vmTask) enterSection(p *simmach.Proc, fr *vmFrame, in *vm.Instr) {
+	rt := t.rt
+	sec := rt.prog.Sections[in.Imm]
+	lo := fr.ints[in.A]
+	hi := fr.ints[in.B]
+	args := make([]Value, len(in.Args))
+	for _, mv := range in.Args {
+		switch mv.Bank {
+		case vm.BankFloat:
+			args[mv.Dst] = Value{Kind: KindFloat, F: fr.floats[mv.Src]}
+		case vm.BankRef:
+			args[mv.Dst] = Value{Kind: KindRef, Ref: fr.refs[mv.Src]}
+		default:
+			args[mv.Dst] = Value{Kind: KindInt, I: fr.ints[mv.Src]}
+		}
+	}
+	p.Advance(rt.opts.ForkCost)
+	sr := &sectionRun{
+		rt: rt, sec: sec, stats: rt.sectionStats(sec),
+		lo: lo, hi: hi, next: lo, args: args,
+		dynamic:   rt.opts.Policy == PolicyDynamic,
+		snap:      make([]simmach.Counters, rt.opts.Procs),
+		secSnap:   make([]simmach.Counters, rt.opts.Procs),
+		startTime: p.Now(),
+	}
+	if sr.dynamic {
+		sr.ctl = rt.controller(sec)
+		sr.ctl.BeginExecution(core.Nanos(p.Now()))
+		sr.versionIdx = sr.ctl.CurrentPolicy()
+	} else {
+		sr.versionIdx = sec.PolicyVersion[rt.opts.Policy]
+	}
+	sr.stats.ChosenVersion = sr.versionIdx
+	if rt.race != nil {
+		rt.race.enterSection(sec.Name)
+	}
+	rt.barrier.OnComplete = sr.onBarrierComplete
+	if rt.vmWorkers == nil {
+		rt.vmWorkers = make([]*vmTask, rt.opts.Procs)
+	}
+	for i := 1; i < rt.opts.Procs; i++ {
+		w := rt.vmWorkers[i]
+		if w == nil {
+			w = &vmTask{rt: rt, mod: t.mod, prof: t.prof}
+			w.sites = make([]lockSite, t.mod.NumLockSites)
+			rt.vmWorkers[i] = w
+		}
+		w.reset(sr)
+		rt.m.SetClock(i, p.Now())
+		rt.m.Start(i, w)
+	}
+	for i := range sr.secSnap {
+		sr.secSnap[i] = rt.m.Proc(i).Counters
+	}
+	sr.resnap()
+	t.sr = sr
+	t.baseFrames = len(t.frames)
+	t.wphase = wClaim
+}

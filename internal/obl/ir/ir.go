@@ -211,6 +211,14 @@ type Func struct {
 	// NRegs is the frame size.
 	NRegs int
 	Code  []Instr
+	// RegKinds records each register's static value representation
+	// (lowering allocates a fresh register per variable and temporary, so
+	// a register's kind never changes over its lifetime). The interpreter
+	// ignores it; the bytecode compiler (internal/obl/vm) uses it to split
+	// the register file into typed banks. Nil for hand-built programs, in
+	// which case the bytecode compiler infers kinds or declines the
+	// function.
+	RegKinds []ElemKind
 }
 
 // CodeBytes returns the function's executable size in bytes, modeling four
@@ -358,6 +366,9 @@ func (p *Program) Verify() error {
 		}
 		if f.NParams > f.NRegs {
 			return fmt.Errorf("ir: %s: NParams %d > NRegs %d", f.Name, f.NParams, f.NRegs)
+		}
+		if f.RegKinds != nil && len(f.RegKinds) != f.NRegs {
+			return fmt.Errorf("ir: %s: RegKinds has %d entries, want %d", f.Name, len(f.RegKinds), f.NRegs)
 		}
 		for pc, in := range f.Code {
 			for _, rc := range []struct {

@@ -179,10 +179,13 @@ func Dedup(p *ir.Program) {
 	p.FuncByName = newByName
 }
 
-// shape serializes a function's code with call targets blanked.
+// shape serializes a function's code with call targets blanked. Register
+// kinds participate so functions merge only when their typed register
+// files coincide too (they always do for clones of one source, but the
+// bytecode compiler depends on it).
 func shape(f *ir.Func) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "p%d r%d;", f.NParams, f.NRegs)
+	fmt.Fprintf(&b, "p%d r%d k%v;", f.NParams, f.NRegs, f.RegKinds)
 	for _, in := range f.Code {
 		imm := in.Imm
 		if in.Op == ir.OpCall {

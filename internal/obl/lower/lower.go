@@ -274,10 +274,10 @@ func (b *Builder) lowerFunc(info *sema.Info, fi *sema.FuncInfo, policy, suffix s
 		isMeth: fi.Class != nil, enclosing: fi.FullName()}
 	f.pushScope()
 	if f.isMeth {
-		f.declare("this", f.newReg())
+		f.declare("this", f.newReg(ir.ElemRef))
 	}
-	for _, p := range fi.Decl.Params {
-		f.declare(p.Name, f.newReg())
+	for i, p := range fi.Decl.Params {
+		f.declare(p.Name, f.newReg(kindOfType(fi.Params[i])))
 	}
 	out.NParams = out.NRegs
 	if err := f.block(fi.Decl.Body); err != nil {
@@ -301,10 +301,50 @@ func (f *fn) lookup(name string) (ir.Reg, bool) {
 	return 0, false
 }
 
-func (f *fn) newReg() ir.Reg {
+// newReg allocates a fresh register of the given representation kind.
+// Registers are never retyped: every variable and temporary gets its own
+// register, so the kind recorded here is the register's kind for life.
+func (f *fn) newReg(k ir.ElemKind) ir.Reg {
 	r := ir.Reg(f.out.NRegs)
 	f.out.NRegs++
+	f.out.RegKinds = append(f.out.RegKinds, k)
 	return r
+}
+
+// kindOfType maps a checked type to its register representation. Void
+// results occupy a register that is never read; they default to int.
+func kindOfType(t sema.Type) ir.ElemKind {
+	switch {
+	case t == nil:
+		return ir.ElemInt
+	case t.Equal(sema.Int):
+		return ir.ElemInt
+	case t.Equal(sema.Float):
+		return ir.ElemFloat
+	case t.Equal(sema.Bool):
+		return ir.ElemBool
+	}
+	switch t.(type) {
+	case sema.Class, sema.Array:
+		return ir.ElemRef
+	}
+	return ir.ElemInt
+}
+
+// astTypeKind maps a declared type annotation to its register kind,
+// mirroring zeroInit's representation choice.
+func astTypeKind(t ast.Type) ir.ElemKind {
+	if pt, ok := t.(*ast.PrimType); ok {
+		switch pt.Name {
+		case "int":
+			return ir.ElemInt
+		case "float":
+			return ir.ElemFloat
+		case "bool":
+			return ir.ElemBool
+		}
+	}
+	return ir.ElemRef
 }
 
 func (f *fn) emit(in ir.Instr) int {
@@ -337,7 +377,7 @@ func (f *fn) stmt(s ast.Stmt) error {
 	case *ast.Block:
 		return f.block(s)
 	case *ast.LetStmt:
-		r := f.newReg()
+		r := f.newReg(astTypeKind(s.Type))
 		if s.Init != nil {
 			if err := f.exprInto(s.Init, r); err != nil {
 				return err
@@ -533,16 +573,16 @@ func (f *fn) whileStmt(s *ast.WhileStmt) error {
 }
 
 func (f *fn) serialFor(s *ast.ForStmt) error {
-	iv := f.newReg()
+	iv := f.newReg(ir.ElemInt)
 	if err := f.exprInto(s.Lo, iv); err != nil {
 		return err
 	}
-	hi := f.newReg()
+	hi := f.newReg(ir.ElemInt)
 	if err := f.exprInto(s.Hi, hi); err != nil {
 		return err
 	}
 	head := len(f.out.Code)
-	cond := f.newReg()
+	cond := f.newReg(ir.ElemBool)
 	cmp := instr(ir.OpLtI)
 	cmp.Dst = cond
 	cmp.A = iv
@@ -557,7 +597,7 @@ func (f *fn) serialFor(s *ast.ForStmt) error {
 		return err
 	}
 	f.popScope()
-	one := f.newReg()
+	one := f.newReg(ir.ElemInt)
 	ci := instr(ir.OpConstInt)
 	ci.Dst = one
 	ci.Imm = 1
@@ -612,9 +652,13 @@ func (f *fn) parallelFor(s *ast.ForStmt) error {
 	bodyID := f.b.addFunc(bf)
 	bfn.pushScope()
 	for _, name := range captured {
-		bfn.declare(name, bfn.newReg())
+		k := ir.ElemInt
+		if r, ok := f.lookup(name); ok {
+			k = f.out.RegKinds[r]
+		}
+		bfn.declare(name, bfn.newReg(k))
 	}
-	bfn.declare(s.Var, bfn.newReg())
+	bfn.declare(s.Var, bfn.newReg(ir.ElemInt))
 	bf.NParams = bf.NRegs
 	if err := bfn.block(s.Body); err != nil {
 		return err
@@ -740,21 +784,21 @@ func (f *fn) exprInto(e ast.Expr, dst ir.Reg) error {
 func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 	switch e := e.(type) {
 	case *ast.IntLit:
-		r := f.newReg()
+		r := f.newReg(ir.ElemInt)
 		in := instr(ir.OpConstInt)
 		in.Dst = r
 		in.Imm = e.Val
 		f.emit(in)
 		return r, nil
 	case *ast.FloatLit:
-		r := f.newReg()
+		r := f.newReg(ir.ElemFloat)
 		in := instr(ir.OpConstFloat)
 		in.Dst = r
 		in.F = e.Val
 		f.emit(in)
 		return r, nil
 	case *ast.BoolLit:
-		r := f.newReg()
+		r := f.newReg(ir.ElemBool)
 		in := instr(ir.OpConstBool)
 		in.Dst = r
 		if e.Val {
@@ -770,7 +814,7 @@ func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 		return r, nil
 	case *ast.Ident:
 		if f.info.RefKinds[e] == sema.RefParam {
-			r := f.newReg()
+			r := f.newReg(ir.ElemInt)
 			in := instr(ir.OpLoadParam)
 			in.Dst = r
 			in.Imm = int64(f.b.paramIdx[e.Name])
@@ -791,7 +835,7 @@ func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 		if err != nil {
 			return 0, err
 		}
-		r := f.newReg()
+		r := f.newReg(kindOfType(f.info.ExprType[e]))
 		in := instr(ir.OpLoadField)
 		in.Dst = r
 		in.A = obj
@@ -807,7 +851,7 @@ func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 		if err != nil {
 			return 0, err
 		}
-		r := f.newReg()
+		r := f.newReg(kindOfType(f.info.ExprType[e]))
 		in := instr(ir.OpLoadIndex)
 		in.Dst = r
 		in.A = arr
@@ -825,15 +869,18 @@ func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 		if err != nil {
 			return 0, err
 		}
-		r := f.newReg()
+		rk := ir.ElemBool
 		in := instr(ir.OpNot)
 		if e.Op == token.Minus {
 			if t, ok := f.info.ExprType[e.X]; ok && t.Equal(sema.Float) {
 				in.Op = ir.OpNegF
+				rk = ir.ElemFloat
 			} else {
 				in.Op = ir.OpNegI
+				rk = ir.ElemInt
 			}
 		}
+		r := f.newReg(rk)
 		in.Dst = r
 		in.A = x
 		f.emit(in)
@@ -844,7 +891,7 @@ func (f *fn) expr(e ast.Expr) (ir.Reg, error) {
 }
 
 func (f *fn) newExpr(e *ast.NewExpr) (ir.Reg, error) {
-	r := f.newReg()
+	r := f.newReg(ir.ElemRef)
 	if e.Count == nil {
 		ct, ok := e.Type.(*ast.ClassType)
 		if !ok {
@@ -885,16 +932,18 @@ func (f *fn) call(e *ast.CallExpr) (ir.Reg, error) {
 		if err != nil {
 			return 0, err
 		}
-		r := f.newReg()
 		var op ir.Op
+		rk := ir.ElemInt
 		switch name {
 		case "tofloat":
 			op = ir.OpIntToFloat
+			rk = ir.ElemFloat
 		case "toint":
 			op = ir.OpFloatToInt
 		case "len":
 			op = ir.OpLen
 		}
+		r := f.newReg(rk)
 		in := instr(op)
 		in.Dst = r
 		in.A = arg
@@ -916,7 +965,7 @@ func (f *fn) call(e *ast.CallExpr) (ir.Reg, error) {
 		}
 		args = append(args, r)
 	}
-	r := f.newReg()
+	r := f.newReg(kindOfType(f.info.ExprType[e]))
 	if ext, ok := f.info.ExternCalls[e]; ok {
 		in := instr(ir.OpCallExtern)
 		in.Dst = r
@@ -947,7 +996,7 @@ func (f *fn) call(e *ast.CallExpr) (ir.Reg, error) {
 func (f *fn) binExpr(e *ast.BinExpr) (ir.Reg, error) {
 	// Short-circuit logical operators.
 	if e.Op == token.AndAnd || e.Op == token.OrOr {
-		r := f.newReg()
+		r := f.newReg(ir.ElemBool)
 		if err := f.exprInto(e.L, r); err != nil {
 			return 0, err
 		}
@@ -957,7 +1006,7 @@ func (f *fn) binExpr(e *ast.BinExpr) (ir.Reg, error) {
 			br.A = r
 			brPC = f.emit(br)
 		} else {
-			not := f.newReg()
+			not := f.newReg(ir.ElemBool)
 			n := instr(ir.OpNot)
 			n.Dst = not
 			n.A = r
@@ -1035,7 +1084,15 @@ func (f *fn) binExpr(e *ast.BinExpr) (ir.Reg, error) {
 	default:
 		return 0, f.errf(e.P, "bad binary op %v", e.Op)
 	}
-	dst := f.newReg()
+	dk := ir.ElemBool
+	switch e.Op {
+	case token.Plus, token.Minus, token.Star, token.Slash, token.Percent:
+		dk = ir.ElemInt
+		if isFloat {
+			dk = ir.ElemFloat
+		}
+	}
+	dst := f.newReg(dk)
 	in := instr(op)
 	in.Dst = dst
 	in.A = l

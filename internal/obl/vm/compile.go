@@ -1,0 +1,582 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/obl/ir"
+)
+
+// Compile translates a program to bytecode. It returns an error — and the
+// execution engine falls back to the interpreter — when a function lacks
+// the register-kind metadata lowering records (hand-built programs) or
+// when the metadata is inconsistent with how the code uses registers.
+// Compilation never changes observable behaviour: every returned module
+// executes bit-identically to the interpreter.
+func Compile(p *ir.Program) (*Module, error) {
+	m := &Module{Prog: p, Funcs: make([]*FuncCode, len(p.Funcs))}
+	// Frame geometry first: call translation needs every callee's
+	// parameter slots regardless of definition order.
+	for id, f := range p.Funcs {
+		fc, err := layout(f, id)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs[id] = fc
+	}
+	fs := flagStatics(p)
+	for id, f := range p.Funcs {
+		if err := m.translate(f, m.Funcs[id], fs); err != nil {
+			return nil, err
+		}
+	}
+	for _, fc := range m.Funcs {
+		markTailCalls(fc)
+	}
+	return m, nil
+}
+
+// layout assigns each register a (bank, slot) in register order, so
+// parameters — the first NParams registers — occupy each bank's prefix.
+func layout(f *ir.Func, id int) (*FuncCode, error) {
+	if f.RegKinds == nil {
+		return nil, fmt.Errorf("vm: %s: no register kinds", f.Name)
+	}
+	fc := &FuncCode{
+		Name: f.Name, ID: id, NParams: f.NParams,
+		RegBank: make([]uint8, f.NRegs),
+		RegSlot: make([]int32, f.NRegs),
+	}
+	var counts [3]int32
+	for r, k := range f.RegKinds {
+		b := bankOf(k)
+		fc.RegBank[r] = b
+		fc.RegSlot[r] = counts[b]
+		counts[b]++
+		if r == f.NParams-1 {
+			fc.PInts, fc.PFloats, fc.PRefs = counts[0], counts[1], counts[2]
+		}
+	}
+	fc.NInts, fc.NFloats, fc.NRefs = counts[0], counts[1], counts[2]
+	fc.FrameInts, fc.FrameFloats, fc.FrameRefs = counts[0], counts[1], counts[2]
+	return fc, nil
+}
+
+// flagStatics resolves conditional-sync sites whose flag is the same in
+// every vector the runtime can consult (the per-policy vectors and every
+// section version's): +1 always enabled, -1 always disabled, 0 mixed.
+// It returns nil — no static resolution — whenever a run could reach a
+// conditional site without a well-formed flag vector, because the
+// interpreter faults there and the VM must fault identically.
+func flagStatics(p *ir.Program) []int8 {
+	if p.FlagPolicies == nil || p.NumFlagSites == 0 {
+		return nil
+	}
+	if _, ok := p.FlagPolicies["original"]; !ok {
+		// Dynamic runs use the "original" vector outside sections; without
+		// it baseFlags would be nil and conditional sites would fault.
+		return nil
+	}
+	vecs := make([][]bool, 0, len(p.FlagPolicies))
+	for _, vec := range p.FlagPolicies {
+		vecs = append(vecs, vec)
+	}
+	for _, sec := range p.Sections {
+		for _, v := range sec.Versions {
+			if v.Flags != nil {
+				vecs = append(vecs, v.Flags)
+			}
+		}
+	}
+	for _, vec := range vecs {
+		if len(vec) < p.NumFlagSites {
+			return nil
+		}
+	}
+	st := make([]int8, p.NumFlagSites)
+	for site := range st {
+		enabled, disabled := true, true
+		for _, vec := range vecs {
+			if vec[site] {
+				disabled = false
+			} else {
+				enabled = false
+			}
+		}
+		switch {
+		case enabled:
+			st[site] = 1
+		case disabled:
+			st[site] = -1
+		}
+	}
+	return st
+}
+
+// translate compiles one function body 1:1 (bytecode pcs equal IR pcs).
+func (m *Module) translate(f *ir.Func, fc *FuncCode, fs []int8) error {
+	p := m.Prog
+	kind := func(r ir.Reg) ir.ElemKind { return f.RegKinds[r] }
+	slot := func(r ir.Reg) int32 { return fc.RegSlot[r] }
+	errf := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("vm: %s: pc %d: %s", f.Name, pc, fmt.Sprintf(format, args...))
+	}
+	// want checks that a register has the expected static kind; a mismatch
+	// means the kind metadata cannot be trusted for this function.
+	want := func(pc int, r ir.Reg, k ir.ElemKind) error {
+		if kind(r) != k {
+			return errf(pc, "register r%d has kind %d, want %d", r, kind(r), k)
+		}
+		return nil
+	}
+	wantWord := func(pc int, r ir.Reg) error {
+		if b := fc.RegBank[r]; b != BankInt {
+			return errf(pc, "register r%d in bank %d, want word bank", r, b)
+		}
+		return nil
+	}
+
+	out := make([]Instr, len(f.Code))
+	for pc, in := range f.Code {
+		o := &out[pc]
+		o.Len = 1
+		o.OrigPC = int32(pc)
+		o.SrcFn = int32(fc.ID)
+		o.Cost = int32(in.Cost())
+		switch in.Op {
+		case ir.OpNop:
+			o.Op = OpNop
+
+		case ir.OpConstInt:
+			o.Op, o.Dst, o.Imm = OpConstI, slot(in.Dst), in.Imm
+			if err := want(pc, in.Dst, ir.ElemInt); err != nil {
+				return err
+			}
+		case ir.OpConstBool:
+			o.Op, o.Dst = OpConstI, slot(in.Dst)
+			if in.Imm != 0 {
+				o.Imm = 1
+			}
+			if err := want(pc, in.Dst, ir.ElemBool); err != nil {
+				return err
+			}
+		case ir.OpConstFloat:
+			o.Op, o.Dst = OpConstF, slot(in.Dst)
+			o.SetF(in.F)
+			if err := want(pc, in.Dst, ir.ElemFloat); err != nil {
+				return err
+			}
+		case ir.OpConstNil:
+			o.Op, o.Dst = OpConstNil, slot(in.Dst)
+			if err := want(pc, in.Dst, ir.ElemRef); err != nil {
+				return err
+			}
+		case ir.OpMov:
+			if kind(in.Dst) != kind(in.A) {
+				return errf(pc, "mov between kinds %d and %d", kind(in.A), kind(in.Dst))
+			}
+			o.Op = [3]Op{OpMovI, OpMovF, OpMovR}[fc.RegBank[in.Dst]]
+			o.Dst, o.A = slot(in.Dst), slot(in.A)
+		case ir.OpLoadParam:
+			o.Op, o.Dst, o.Imm = OpLoadParam, slot(in.Dst), in.Imm
+			if err := want(pc, in.Dst, ir.ElemInt); err != nil {
+				return err
+			}
+
+		case ir.OpAddI, ir.OpSubI, ir.OpMulI, ir.OpDivI, ir.OpModI:
+			o.Op = map[ir.Op]Op{
+				ir.OpAddI: OpAddI, ir.OpSubI: OpSubI, ir.OpMulI: OpMulI,
+				ir.OpDivI: OpDivI, ir.OpModI: OpModI,
+			}[in.Op]
+			o.Dst, o.A, o.B = slot(in.Dst), slot(in.A), slot(in.B)
+			for _, r := range []ir.Reg{in.Dst, in.A, in.B} {
+				if err := wantWord(pc, r); err != nil {
+					return err
+				}
+			}
+		case ir.OpNegI:
+			o.Op, o.Dst, o.A = OpNegI, slot(in.Dst), slot(in.A)
+			if err := wantWord(pc, in.Dst); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+		case ir.OpAddF, ir.OpSubF, ir.OpMulF, ir.OpDivF:
+			o.Op = map[ir.Op]Op{
+				ir.OpAddF: OpAddF, ir.OpSubF: OpSubF, ir.OpMulF: OpMulF, ir.OpDivF: OpDivF,
+			}[in.Op]
+			o.Dst, o.A, o.B = slot(in.Dst), slot(in.A), slot(in.B)
+			for _, r := range []ir.Reg{in.Dst, in.A, in.B} {
+				if err := want(pc, r, ir.ElemFloat); err != nil {
+					return err
+				}
+			}
+		case ir.OpNegF:
+			o.Op, o.Dst, o.A = OpNegF, slot(in.Dst), slot(in.A)
+			if err := want(pc, in.Dst, ir.ElemFloat); err != nil {
+				return err
+			}
+			if err := want(pc, in.A, ir.ElemFloat); err != nil {
+				return err
+			}
+		case ir.OpIntToFloat:
+			o.Op, o.Dst, o.A = OpI2F, slot(in.Dst), slot(in.A)
+			if err := want(pc, in.Dst, ir.ElemFloat); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+		case ir.OpFloatToInt:
+			o.Op, o.Dst, o.A = OpF2I, slot(in.Dst), slot(in.A)
+			if err := wantWord(pc, in.Dst); err != nil {
+				return err
+			}
+			if err := want(pc, in.A, ir.ElemFloat); err != nil {
+				return err
+			}
+
+		case ir.OpEq, ir.OpNe:
+			ne := in.Op == ir.OpNe
+			o.Dst = slot(in.Dst)
+			if err := want(pc, in.Dst, ir.ElemBool); err != nil {
+				return err
+			}
+			ka, kb := kind(in.A), kind(in.B)
+			if ka != kb {
+				// The interpreter's Value.Equal is false across kinds, so the
+				// comparison folds to a constant of the same cost.
+				o.Op = OpConstI
+				if ne {
+					o.Imm = 1
+				}
+				break
+			}
+			o.A, o.B = slot(in.A), slot(in.B)
+			switch ka {
+			case ir.ElemFloat:
+				o.Op = OpEqF
+			case ir.ElemRef:
+				o.Op = OpEqR
+			default:
+				o.Op = OpEqI
+			}
+			if ne {
+				o.Op++ // Ne variants directly follow their Eq counterparts
+			}
+		case ir.OpLtI, ir.OpLeI, ir.OpGtI, ir.OpGeI:
+			o.Op = map[ir.Op]Op{
+				ir.OpLtI: OpLtI, ir.OpLeI: OpLeI, ir.OpGtI: OpGtI, ir.OpGeI: OpGeI,
+			}[in.Op]
+			o.Dst, o.A, o.B = slot(in.Dst), slot(in.A), slot(in.B)
+			if err := want(pc, in.Dst, ir.ElemBool); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.B); err != nil {
+				return err
+			}
+		case ir.OpLtF, ir.OpLeF, ir.OpGtF, ir.OpGeF:
+			o.Op = map[ir.Op]Op{
+				ir.OpLtF: OpLtF, ir.OpLeF: OpLeF, ir.OpGtF: OpGtF, ir.OpGeF: OpGeF,
+			}[in.Op]
+			o.Dst, o.A, o.B = slot(in.Dst), slot(in.A), slot(in.B)
+			if err := want(pc, in.Dst, ir.ElemBool); err != nil {
+				return err
+			}
+			if err := want(pc, in.A, ir.ElemFloat); err != nil {
+				return err
+			}
+			if err := want(pc, in.B, ir.ElemFloat); err != nil {
+				return err
+			}
+		case ir.OpNot:
+			o.Op, o.Dst, o.A = OpNot, slot(in.Dst), slot(in.A)
+			if err := want(pc, in.Dst, ir.ElemBool); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+
+		case ir.OpJump:
+			o.Op, o.Imm = OpJump, in.Imm
+		case ir.OpBrFalse:
+			o.Op, o.A, o.Imm = OpBrFalse, slot(in.A), in.Imm
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+
+		case ir.OpCall:
+			callee := m.Funcs[in.Imm]
+			cf := p.Funcs[in.Imm]
+			moves := make([]ArgMove, len(in.Args))
+			for i, r := range in.Args {
+				if fc.RegBank[r] != callee.RegBank[i] || kind(r) != cf.RegKinds[i] {
+					return errf(pc, "call %s: arg %d kind %d, param wants %d",
+						callee.Name, i, kind(r), cf.RegKinds[i])
+				}
+				moves[i] = ArgMove{Bank: callee.RegBank[i], Src: slot(r), Dst: callee.RegSlot[i]}
+			}
+			o.Op, o.Imm, o.Args = OpCall, in.Imm, moves
+			o.Dst = -1
+			if in.Dst != ir.NoReg {
+				o.Dst, o.C = slot(in.Dst), int32(fc.RegBank[in.Dst])
+				// Every value-returning path of the callee must produce the
+				// kind the caller's destination expects.
+				for _, cin := range cf.Code {
+					if cin.Op == ir.OpRet && cin.A != ir.NoReg && cf.RegKinds[cin.A] != kind(in.Dst) {
+						return errf(pc, "call %s: returns kind %d into kind %d",
+							callee.Name, cf.RegKinds[cin.A], kind(in.Dst))
+					}
+				}
+			}
+		case ir.OpCallExtern:
+			moves := make([]ArgMove, len(in.Args))
+			for i, r := range in.Args {
+				moves[i] = ArgMove{Bank: fc.RegBank[r], Src: slot(r), Dst: int32(i)}
+			}
+			o.Imm, o.Args = in.Imm, moves
+			o.Cost = int32(ir.Instr{Op: ir.OpCallExtern}.Cost() + p.Externs[in.Imm].Cost)
+			o.Dst = -1
+			o.Op = OpCallExtI
+			if in.Dst != ir.NoReg {
+				o.Dst = slot(in.Dst)
+				switch kind(in.Dst) {
+				case ir.ElemFloat:
+					o.Op = OpCallExtF
+				case ir.ElemInt:
+					o.Op = OpCallExtI
+				default:
+					return errf(pc, "extern result into kind %d register", kind(in.Dst))
+				}
+			}
+		case ir.OpRet:
+			if in.A == ir.NoReg {
+				o.Op = OpRetVoid
+				break
+			}
+			o.A = slot(in.A)
+			switch fc.RegBank[in.A] {
+			case BankFloat:
+				o.Op = OpRetF
+			case BankRef:
+				o.Op = OpRetR
+			default:
+				o.Op = OpRetI
+			}
+
+		case ir.OpNew:
+			o.Op, o.Dst, o.Imm = OpNew, slot(in.Dst), in.Imm
+			if err := want(pc, in.Dst, ir.ElemRef); err != nil {
+				return err
+			}
+		case ir.OpNewArr:
+			o.Op, o.Dst, o.A, o.Imm = OpNewArr, slot(in.Dst), slot(in.A), in.Imm
+			if err := want(pc, in.Dst, ir.ElemRef); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+		case ir.OpLoadField:
+			o.Dst, o.A, o.Imm = slot(in.Dst), slot(in.A), in.Imm
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			switch fc.RegBank[in.Dst] {
+			case BankFloat:
+				o.Op = OpLoadFieldF
+			case BankRef:
+				o.Op = OpLoadFieldR
+			default:
+				o.Op = OpLoadFieldI
+			}
+		case ir.OpStoreField:
+			o.A, o.B, o.Imm = slot(in.A), slot(in.B), in.Imm
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			switch kind(in.B) {
+			case ir.ElemFloat:
+				o.Op = OpStoreFieldF
+			case ir.ElemRef:
+				o.Op = OpStoreFieldR
+			case ir.ElemBool:
+				o.Op = OpStoreFieldB
+			default:
+				o.Op = OpStoreFieldI
+			}
+		case ir.OpLoadIndex:
+			o.Dst, o.A, o.B = slot(in.Dst), slot(in.A), slot(in.B)
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.B); err != nil {
+				return err
+			}
+			switch fc.RegBank[in.Dst] {
+			case BankFloat:
+				o.Op = OpLoadIndexF
+			case BankRef:
+				o.Op = OpLoadIndexR
+			default:
+				o.Op = OpLoadIndexI
+			}
+		case ir.OpStoreIndex:
+			o.A, o.B, o.C = slot(in.A), slot(in.B), slot(in.C)
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.B); err != nil {
+				return err
+			}
+			switch kind(in.C) {
+			case ir.ElemFloat:
+				o.Op = OpStoreIndexF
+			case ir.ElemRef:
+				o.Op = OpStoreIndexR
+			case ir.ElemBool:
+				o.Op = OpStoreIndexB
+			default:
+				o.Op = OpStoreIndexI
+			}
+		case ir.OpLen:
+			o.Op, o.Dst, o.A = OpLen, slot(in.Dst), slot(in.A)
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.Dst); err != nil {
+				return err
+			}
+
+		case ir.OpPrint:
+			o.A = slot(in.A)
+			switch kind(in.A) {
+			case ir.ElemFloat:
+				o.Op = OpPrintF
+			case ir.ElemRef:
+				o.Op = OpPrintR
+			case ir.ElemBool:
+				o.Op = OpPrintB
+			default:
+				o.Op = OpPrintI
+			}
+
+		case ir.OpAcquire, ir.OpRelease:
+			if in.Op == ir.OpAcquire {
+				o.Op = OpAcquire
+			} else {
+				o.Op = OpRelease
+			}
+			o.A = slot(in.A)
+			o.B = int32(m.NumLockSites)
+			m.NumLockSites++
+			o.Cost = 0 // the runtime charges sync costs along its own paths
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+		case ir.OpAcquireIf, ir.OpReleaseIf:
+			acq := in.Op == ir.OpAcquireIf
+			o.A, o.Imm = slot(in.A), in.Imm
+			o.B = int32(m.NumLockSites)
+			m.NumLockSites++
+			o.Cost = 0
+			if err := want(pc, in.A, ir.ElemRef); err != nil {
+				return err
+			}
+			switch {
+			case fs != nil && fs[in.Imm] == 1:
+				if acq {
+					o.Op = OpAcquireEn
+				} else {
+					o.Op = OpReleaseEn
+				}
+			case fs != nil && fs[in.Imm] == -1:
+				o.Op = OpFlagSkip
+				o.Cost = ir.CostFlagTest
+			default:
+				if acq {
+					o.Op = OpAcquireIf
+				} else {
+					o.Op = OpReleaseIf
+				}
+			}
+
+		case ir.OpParallel:
+			moves := make([]ArgMove, len(in.Args))
+			for i, r := range in.Args {
+				moves[i] = ArgMove{Bank: fc.RegBank[r], Src: slot(r), Dst: int32(i)}
+			}
+			o.Op, o.Imm, o.Args = OpParallel, in.Imm, moves
+			o.A, o.B = slot(in.A), slot(in.B)
+			o.Cost = 0
+			if err := wantWord(pc, in.A); err != nil {
+				return err
+			}
+			if err := wantWord(pc, in.B); err != nil {
+				return err
+			}
+
+		default:
+			return errf(pc, "unsupported opcode %v", in.Op)
+		}
+	}
+	fc.Code = out
+	fc.Plain = out // alias until specialization rewrites Code
+	return nil
+}
+
+// markTailCalls rewrites self-recursive calls in tail position into
+// OpTailCall. The transformation is static — always sound and always
+// profitable — so it applies to the baseline translation, not just to
+// specialized modules.
+//
+// Soundness: the eventual return replays its own instruction once per
+// collapsed frame, reading the innermost activation's registers. A
+// `call self; ret d` site with d the call's destination forwards the
+// callee's value unchanged, so the innermost return value (or zero, for
+// a void-returning path, matching Value{}'s zero reads) is exactly what
+// the original caller receives. A `call self; retvoid` site instead
+// discards whatever the callee returned — that only coincides with the
+// replayed instruction's effect when every return in the function is
+// void, so the void pattern requires it.
+func markTailCalls(fc *FuncCode) {
+	allVoid := true
+	for pc := range fc.Code {
+		op := fc.Code[pc].Op
+		if op == OpRetI || op == OpRetF || op == OpRetR {
+			allVoid = false
+			break
+		}
+	}
+	for pc := 0; pc+1 < len(fc.Code); pc++ {
+		in := &fc.Code[pc]
+		if in.Op != OpCall || int(in.Imm) != fc.ID {
+			continue
+		}
+		ret := &fc.Code[pc+1]
+		switch ret.Op {
+		case OpRetI, OpRetF, OpRetR:
+			var rb int32
+			switch ret.Op {
+			case OpRetF:
+				rb = BankFloat
+			case OpRetR:
+				rb = BankRef
+			}
+			if in.Dst < 0 || ret.A != in.Dst || rb != in.C {
+				continue
+			}
+		case OpRetVoid:
+			if !allVoid {
+				continue
+			}
+		default:
+			continue
+		}
+		in.Op = OpTailCall
+	}
+}

@@ -1,0 +1,26 @@
+package vm
+
+// Profile holds execution counters collected by the VM's first pass over
+// a program: per-pc execution counts and, for acquire sites, how often
+// the acquire actually blocked. Counters are only ever mutated by a
+// run's single machine goroutine, so they need no synchronization.
+type Profile struct {
+	// Counts[funcID][pc] is the number of times the instruction was
+	// dispatched (fused instructions never exist in profiled modules).
+	Counts [][]int64
+	// Blocked[funcID][pc] counts acquires at pc that found the lock held.
+	Blocked [][]int64
+}
+
+// NewProfile allocates zeroed counters shaped like the module's code.
+func NewProfile(m *Module) *Profile {
+	p := &Profile{
+		Counts:  make([][]int64, len(m.Funcs)),
+		Blocked: make([][]int64, len(m.Funcs)),
+	}
+	for i, fc := range m.Funcs {
+		p.Counts[i] = make([]int64, len(fc.Code))
+		p.Blocked[i] = make([]int64, len(fc.Code))
+	}
+	return p
+}

@@ -1,0 +1,414 @@
+package vm
+
+// Profile-guided specialization. Specialize rebuilds a module from the
+// baseline translation and the counters of a completed profiling run:
+//
+//   - Inline expansion: hot calls to small leaf callees are spliced into
+//     the caller as OpCallEnter + remapped body + OpIRet*, with the
+//     callee's registers living in fresh ranges appended to the caller's
+//     frame. Charges and instruction counts are preserved one-for-one
+//     (OpCallEnter charges what OpCall did and zeroes the ranges the push
+//     would have zeroed; OpIRet* charge what OpRet did), so dispatch
+//     boundaries do not move.
+//   - Uncontended lock sites: acquire sites that never blocked during
+//     profiling (and their release counterparts) switch to OpAcquireU /
+//     OpReleaseU, which memoize the site's object→lock resolution in a
+//     per-task monomorphic cache. The cache is guarded, so a site that
+//     turns polymorphic or contended later is still exact.
+//   - Superinstruction fusion: the hottest compare+branch pairs and the
+//     three-instruction serial-loop latch (const 1; add; jump) collapse
+//     into single dispatches. The per-slot Plain stream keeps the
+//     unfused instructions so jumps into a group and step-budget
+//     boundaries behave exactly as unspecialized code.
+//
+// None of this changes observable behaviour; it only reduces dispatches
+// and memory traffic per simulated instruction.
+
+const (
+	// hotThreshold is the minimum profile count for a site to be worth
+	// rewriting. Specialization is a per-program one-time cost, so the
+	// bar is low: anything executed more than a few hundred times.
+	hotThreshold = 256
+	// maxInlineLen bounds the callee size for inline expansion.
+	maxInlineLen = 48
+	// maxFuncGrowth bounds a function's post-inline code size.
+	maxFuncGrowth = 4096
+)
+
+// Specialize builds a specialized module from a baseline module and the
+// profile of a completed run of it.
+func Specialize(base *Module, prof *Profile) *Module {
+	m := &Module{
+		Prog:         base.Prog,
+		Funcs:        make([]*FuncCode, len(base.Funcs)),
+		NumLockSites: base.NumLockSites,
+		Specialized:  true,
+	}
+	for id := range base.Funcs {
+		m.Funcs[id] = specializeFunc(base, id, prof)
+	}
+	return m
+}
+
+func specializeFunc(base *Module, id int, prof *Profile) *FuncCode {
+	fc := base.Funcs[id]
+	nf := &FuncCode{
+		Name: fc.Name, ID: fc.ID, NParams: fc.NParams,
+		NInts: fc.NInts, NFloats: fc.NFloats, NRefs: fc.NRefs,
+		FrameInts: fc.FrameInts, FrameFloats: fc.FrameFloats, FrameRefs: fc.FrameRefs,
+		PInts: fc.PInts, PFloats: fc.PFloats, PRefs: fc.PRefs,
+		RegBank: fc.RegBank, RegSlot: fc.RegSlot,
+	}
+	plain, counts, blocked := inlineExpand(base, fc, nf, prof)
+	for pc := range plain {
+		in := &plain[pc]
+		if counts[pc] < hotThreshold {
+			continue
+		}
+		switch in.Op {
+		case OpAcquire:
+			if blocked[pc] == 0 {
+				in.Op = OpAcquireU
+			}
+		case OpRelease:
+			in.Op = OpReleaseU
+		}
+	}
+	code := make([]Instr, len(plain))
+	copy(code, plain)
+	fuse(code, plain, counts)
+	nf.Plain, nf.Code = plain, code
+	return nf
+}
+
+// inlinable reports whether a function body can be spliced into a
+// caller: no calls of any kind, no section entry, and no way for the pc
+// to run off the end of the body (so execution always leaves the splice
+// through a return, never by falling into the caller's next instruction).
+func inlinable(fc *FuncCode) bool {
+	n := len(fc.Code)
+	if n == 0 {
+		return false
+	}
+	switch fc.Code[n-1].Op {
+	case OpRetI, OpRetF, OpRetR, OpRetVoid, OpJump:
+	default:
+		return false
+	}
+	for pc := range fc.Code {
+		in := &fc.Code[pc]
+		switch in.Op {
+		case OpCall, OpTailCall, OpCallEnter, OpParallel,
+			OpIRetI, OpIRetF, OpIRetR, OpIRetVoid:
+			return false
+		case OpJump, OpBrFalse:
+			if int(in.Imm) >= n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inlineExpand splices hot small callees into fc's code, growing nf's
+// frame by each splice's register ranges. It returns the expanded
+// instruction stream with per-slot execution and blocked counters
+// (spliced slots carry the callee's own counters, which is what fusion
+// needs to judge their heat).
+func inlineExpand(base *Module, fc *FuncCode, nf *FuncCode, prof *Profile) ([]Instr, []int64, []int64) {
+	counts, blocked := prof.Counts[fc.ID], prof.Blocked[fc.ID]
+	splice := make(map[int]*FuncCode)
+	grow := 0
+	for pc := range fc.Code {
+		in := &fc.Code[pc]
+		if in.Op != OpCall || counts[pc] < hotThreshold || int(in.Imm) == fc.ID {
+			continue
+		}
+		callee := base.Funcs[in.Imm]
+		if len(callee.Code) > maxInlineLen || !inlinable(callee) {
+			continue
+		}
+		if len(fc.Code)+grow+len(callee.Code) > maxFuncGrowth {
+			break
+		}
+		splice[pc] = callee
+		grow += len(callee.Code)
+	}
+	if len(splice) == 0 {
+		out := make([]Instr, len(fc.Code))
+		copy(out, fc.Code)
+		return out, counts, blocked
+	}
+
+	newPC := make([]int32, len(fc.Code)+1)
+	out := make([]Instr, 0, len(fc.Code)+grow)
+	nc := make([]int64, 0, len(fc.Code)+grow)
+	nb := make([]int64, 0, len(fc.Code)+grow)
+	var fixups []int // out indices of caller jumps whose targets need remapping
+	for pc := range fc.Code {
+		newPC[pc] = int32(len(out))
+		in := fc.Code[pc]
+		callee, ok := splice[pc]
+		if !ok {
+			if in.Op == OpJump || in.Op == OpBrFalse {
+				fixups = append(fixups, len(out))
+			}
+			out = append(out, in)
+			nc = append(nc, counts[pc])
+			nb = append(nb, blocked[pc])
+			continue
+		}
+
+		// Fresh register ranges for this splice.
+		ib, fb, rb := nf.FrameInts, nf.FrameFloats, nf.FrameRefs
+		nf.FrameInts += callee.NInts
+		nf.FrameFloats += callee.NFloats
+		nf.FrameRefs += callee.NRefs
+		moves := make([]ArgMove, len(in.Args))
+		for i, mv := range in.Args {
+			d := mv.Dst
+			switch mv.Bank {
+			case BankFloat:
+				d += fb
+			case BankRef:
+				d += rb
+			default:
+				d += ib
+			}
+			moves[i] = ArgMove{Bank: mv.Bank, Src: mv.Src, Dst: d}
+		}
+		out = append(out, Instr{
+			Op: OpCallEnter, Len: 1, Cost: in.Cost, OrigPC: in.OrigPC, SrcFn: in.SrcFn,
+			A: ib, B: ib + callee.NInts, C: fb, Dst: fb + callee.NFloats,
+			Imm:  int64(rb)<<32 | int64(rb+callee.NRefs),
+			Args: moves,
+		})
+		nc = append(nc, counts[pc])
+		nb = append(nb, blocked[pc])
+
+		bodyStart := int32(len(out))
+		end := int64(bodyStart) + int64(len(callee.Code))
+		ccounts, cblocked := prof.Counts[callee.ID], prof.Blocked[callee.ID]
+		for t := range callee.Code {
+			cin := callee.Code[t]
+			switch cin.Op {
+			case OpRetI, OpRetF, OpRetR:
+				o := Instr{Len: 1, Cost: cin.Cost, OrigPC: cin.OrigPC, SrcFn: cin.SrcFn, Imm: end}
+				switch cin.Op {
+				case OpRetF:
+					o.A = cin.A + fb
+					o.Op = OpIRetF
+				case OpRetR:
+					o.A = cin.A + rb
+					o.Op = OpIRetR
+				default:
+					o.A = cin.A + ib
+					o.Op = OpIRetI
+				}
+				if in.Dst < 0 {
+					// Result discarded at the call site.
+					o.Op, o.Dst = OpIRetVoid, -1
+				} else {
+					o.Dst = in.Dst
+				}
+				out = append(out, o)
+			case OpRetVoid:
+				out = append(out, Instr{
+					Op: OpIRetVoid, Len: 1, Cost: cin.Cost, OrigPC: cin.OrigPC, SrcFn: cin.SrcFn,
+					Dst: in.Dst, B: in.C, Imm: end,
+				})
+			default:
+				remapSlots(&cin, ib, fb, rb)
+				if cin.Op == OpJump || cin.Op == OpBrFalse {
+					cin.Imm += int64(bodyStart)
+				}
+				if len(cin.Args) > 0 {
+					amoves := make([]ArgMove, len(cin.Args))
+					for i, mv := range cin.Args {
+						s := mv.Src
+						switch mv.Bank {
+						case BankFloat:
+							s += fb
+						case BankRef:
+							s += rb
+						default:
+							s += ib
+						}
+						amoves[i] = ArgMove{Bank: mv.Bank, Src: s, Dst: mv.Dst}
+					}
+					cin.Args = amoves
+				}
+				out = append(out, cin)
+			}
+			nc = append(nc, ccounts[t])
+			nb = append(nb, cblocked[t])
+		}
+	}
+	newPC[len(fc.Code)] = int32(len(out))
+	for _, i := range fixups {
+		out[i].Imm = int64(newPC[out[i].Imm])
+	}
+	return out, nc, nb
+}
+
+// remapSlots adds a splice's bank bases to every register-slot field of
+// an inlined instruction. Which fields are slots — and in which bank —
+// is a property of the opcode; immediates, jump targets, lock-site and
+// flag-site indices are left alone.
+func remapSlots(o *Instr, ib, fb, rb int32) {
+	switch o.Op {
+	case OpNop, OpFlagSkip, OpJump:
+	case OpConstI, OpLoadParam:
+		o.Dst += ib
+	case OpConstF:
+		o.Dst += fb
+	case OpConstNil:
+		o.Dst += rb
+	case OpMovI, OpNegI, OpNot:
+		o.Dst += ib
+		o.A += ib
+	case OpMovF, OpNegF:
+		o.Dst += fb
+		o.A += fb
+	case OpMovR:
+		o.Dst += rb
+		o.A += rb
+	case OpAddI, OpSubI, OpMulI, OpDivI, OpModI,
+		OpEqI, OpNeI, OpLtI, OpLeI, OpGtI, OpGeI:
+		o.Dst += ib
+		o.A += ib
+		o.B += ib
+	case OpAddF, OpSubF, OpMulF, OpDivF:
+		o.Dst += fb
+		o.A += fb
+		o.B += fb
+	case OpEqF, OpNeF, OpLtF, OpLeF, OpGtF, OpGeF:
+		o.Dst += ib
+		o.A += fb
+		o.B += fb
+	case OpEqR, OpNeR:
+		o.Dst += ib
+		o.A += rb
+		o.B += rb
+	case OpI2F:
+		o.Dst += fb
+		o.A += ib
+	case OpF2I:
+		o.Dst += ib
+		o.A += fb
+	case OpBrFalse:
+		o.A += ib
+	case OpCallExtI:
+		if o.Dst >= 0 {
+			o.Dst += ib
+		}
+	case OpCallExtF:
+		if o.Dst >= 0 {
+			o.Dst += fb
+		}
+	case OpNew:
+		o.Dst += rb
+	case OpNewArr:
+		o.Dst += rb
+		o.A += ib
+	case OpLoadFieldI:
+		o.Dst += ib
+		o.A += rb
+	case OpLoadFieldF:
+		o.Dst += fb
+		o.A += rb
+	case OpLoadFieldR:
+		o.Dst += rb
+		o.A += rb
+	case OpStoreFieldI, OpStoreFieldB:
+		o.A += rb
+		o.B += ib
+	case OpStoreFieldF:
+		o.A += rb
+		o.B += fb
+	case OpStoreFieldR:
+		o.A += rb
+		o.B += rb
+	case OpLoadIndexI:
+		o.Dst += ib
+		o.A += rb
+		o.B += ib
+	case OpLoadIndexF:
+		o.Dst += fb
+		o.A += rb
+		o.B += ib
+	case OpLoadIndexR:
+		o.Dst += rb
+		o.A += rb
+		o.B += ib
+	case OpStoreIndexI, OpStoreIndexB:
+		o.A += rb
+		o.B += ib
+		o.C += ib
+	case OpStoreIndexF:
+		o.A += rb
+		o.B += ib
+		o.C += fb
+	case OpStoreIndexR:
+		o.A += rb
+		o.B += ib
+		o.C += rb
+	case OpLen:
+		o.Dst += ib
+		o.A += rb
+	case OpPrintI, OpPrintB:
+		o.A += ib
+	case OpPrintF:
+		o.A += fb
+	case OpPrintR:
+		o.A += rb
+	case OpAcquire, OpRelease, OpAcquireEn, OpReleaseEn,
+		OpAcquireIf, OpReleaseIf, OpAcquireU, OpReleaseU:
+		o.A += rb // B stays: it is the lock-site index, shared with the out-of-line body
+	}
+}
+
+// fuse rewrites hot superinstruction patterns in code, leaving plain as
+// the per-slot unfused stream. Group tails keep their plain copies in
+// code too, so jumps that land inside a group execute unfused.
+func fuse(code, plain []Instr, counts []int64) {
+	cmpBr := map[Op]Op{
+		OpEqI: OpEqIBr, OpNeI: OpNeIBr, OpEqF: OpEqFBr, OpNeF: OpNeFBr,
+		OpEqR: OpEqRBr, OpNeR: OpNeRBr,
+		OpLtI: OpLtIBr, OpLeI: OpLeIBr, OpGtI: OpGtIBr, OpGeI: OpGeIBr,
+		OpLtF: OpLtFBr, OpLeF: OpLeFBr, OpGtF: OpGtFBr, OpGeF: OpGeFBr,
+		OpNot: OpNotBr,
+	}
+	for pc := 0; pc+1 < len(code); pc++ {
+		in := &plain[pc]
+		if counts[pc] < hotThreshold {
+			continue
+		}
+		// Serial-loop latch: const.i c,1 ; add.i a,a,c ; jump t.
+		if pc+2 < len(code) && in.Op == OpConstI && in.Imm == 1 {
+			add, jmp := &plain[pc+1], &plain[pc+2]
+			if add.Op == OpAddI && jmp.Op == OpJump &&
+				add.Dst == add.A && add.B == in.Dst && add.Dst != in.Dst {
+				code[pc] = Instr{
+					Op: OpInc1Jump, Len: 3, Dst: in.Dst, A: add.Dst, Imm: jmp.Imm,
+					Cost: in.Cost + add.Cost + jmp.Cost, OrigPC: in.OrigPC, SrcFn: in.SrcFn,
+				}
+				pc += 2
+				continue
+			}
+		}
+		fop, ok := cmpBr[in.Op]
+		if !ok {
+			continue
+		}
+		br := &plain[pc+1]
+		if br.Op != OpBrFalse || br.A != in.Dst {
+			continue
+		}
+		code[pc] = Instr{
+			Op: fop, Len: 2, Dst: in.Dst, A: in.A, B: in.B, Imm: br.Imm,
+			Cost: in.Cost + br.Cost, OrigPC: in.OrigPC, SrcFn: in.SrcFn,
+		}
+		pc++
+	}
+}

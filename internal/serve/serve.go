@@ -89,6 +89,10 @@ type Config struct {
 	// the content-addressed simulation cache instead of re-simulating;
 	// /run responses carry a "cached" flag and /stats reports the traffic.
 	Cache *simcache.Cache
+	// Engine selects the OBL execution engine (interp.EngineVM or
+	// interp.EngineInterp). Default the bytecode VM. Results are
+	// byte-identical either way, so cache keys ignore it.
+	Engine string
 }
 
 func (c Config) withDefaults() Config {
@@ -691,6 +695,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		TargetProduction: simmach.Time(s.cfg.TargetProduction),
 		Params:           params,
 		Perturb:          sched,
+		Engine:           s.cfg.Engine,
 	}
 	if policy == "serial" {
 		prog = c.Serial
