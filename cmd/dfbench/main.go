@@ -21,14 +21,23 @@
 // parallelism and records the wall-clock curve; -cpuprofile writes a Go
 // CPU profile of the whole run.
 //
+// -sample runs the sampled-simulation tier (internal/bench.SamplingValidation):
+// each large-workload cell is simulated twice, once with interval sampling
+// and once exhaustively, and the extrapolated metrics' confidence
+// intervals are checked against the exhaustive ground truth. The tier is
+// embedded as the `sampling` block of the JSON document. -sample-validate
+// implies -sample and exits nonzero if any ground-truth metric falls
+// outside its interval. `-run none` selects no experiments, for running
+// the sampling tier alone.
+//
 // Usage:
 //
-//	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4]
+//	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4|none]
 //	        [-perturb crossover|ramp|periodic|skew|all]
 //	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
 //	        [-cache dir] [-cache-mem N] [-cache-verify] [-cache-timing]
 //	        [-engine vm|interp] [-engine-timing] [-scaling 1,2,4]
-//	        [-cpuprofile path]
+//	        [-sample] [-sample-validate] [-cpuprofile path]
 //
 // -perturb selects the adaptivity experiment for one or more named
 // perturbation scenarios (internal/perturb): the environment changes
@@ -72,6 +81,8 @@ func main() {
 	engine := flag.String("engine", "", "execution engine: vm (default) or interp")
 	engineTiming := flag.Bool("engine-timing", false, "rerun the suite cold under the other engine, record both wall-clocks, and verify the reports are byte-identical")
 	scaling := flag.String("scaling", "", "comma-separated parallelism levels (e.g. 1,2,4): rerun the suite cold at each, record the wall-clock curve, and verify the reports are byte-identical")
+	sample := flag.Bool("sample", false, "run the sampled-simulation tier (sampled and exhaustive passes per large-workload cell) and record it in the JSON document")
+	sampleValidate := flag.Bool("sample-validate", false, "implies -sample; exit nonzero unless every ground-truth metric falls inside its confidence interval")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	flag.Parse()
 
@@ -121,7 +132,7 @@ func main() {
 	if *runFlag == "" && *perturbFlag == "" {
 		selected = bench.Experiments()
 	}
-	if *runFlag != "" {
+	if *runFlag != "" && *runFlag != "none" {
 		for _, id := range strings.Split(*runFlag, ",") {
 			e, ok := bench.ExperimentByID(strings.TrimSpace(id))
 			if !ok {
@@ -200,6 +211,26 @@ func main() {
 					warmMS, cacheInfo.SpeedupVsCold)
 			} else {
 				fmt.Printf("cache verify: every hit re-simulated and byte-identical (%.0f ms); reports byte-identical\n", warmMS)
+				if *cacheTiming {
+					// Both flags: a third, pure-warm pass measures cache
+					// service time now that every hit is verified.
+					tReports, _, tms, err := runSuite(cfg, selected, cfg.Parallelism)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "dfbench: warm timing pass: %v\n", err)
+						os.Exit(1)
+					}
+					for i, rep := range reports {
+						if rep.Format() != tReports[i].Format() {
+							fmt.Fprintf(os.Stderr, "dfbench: CACHE VIOLATION: %s differs between cold and warm timing passes\n", rep.ID)
+							os.Exit(1)
+						}
+					}
+					if tms > 0 {
+						cacheInfo.SpeedupVsCold = totalMS / tms
+						fmt.Printf("warm cache wall-clock: %.0f ms; %.2fx vs cold pass; reports byte-identical\n",
+							tms, cacheInfo.SpeedupVsCold)
+					}
+				}
 			}
 		}
 		cacheInfo.Stats = cache.Stats()
@@ -290,11 +321,26 @@ func main() {
 		fmt.Printf("serial wall-clock: %.0f ms; parallel speedup %.2fx; reports byte-identical\n", serialMS, speedupX)
 	}
 
+	var samplingInfo *bench.SamplingJSON
+	if *sample || *sampleValidate {
+		si, err := bench.SamplingValidation(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: sampling tier: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(si.Format())
+		samplingInfo = si
+	}
+
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo, engineInfo, scalingInfo); err != nil {
+		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo, engineInfo, scalingInfo, samplingInfo); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *sampleValidate && !samplingInfo.AllContained {
+		fmt.Fprintf(os.Stderr, "dfbench: sampling validation failed: ground truth escaped a confidence interval\n")
+		os.Exit(1)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "dfbench: %d shape check(s) failed\n", failed)
@@ -367,7 +413,7 @@ type scalePoint struct {
 // results accumulate as a perf trajectory across changes.
 func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, walls []float64,
 	totalMS, serialMS, speedup float64, failed int, cacheInfo *cacheJSON,
-	engineInfo *engineJSON, scalingInfo []scalePoint) error {
+	engineInfo *engineJSON, scalingInfo []scalePoint, samplingInfo *bench.SamplingJSON) error {
 	type expJSON struct {
 		*bench.Report
 		HostWallMS float64 `json:"host_wall_ms"`
@@ -381,20 +427,21 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		engine = interp.EngineVM
 	}
 	doc := struct {
-		GeneratedAt  string       `json:"generated_at"`
-		Quick        bool         `json:"quick"`
-		Procs        []int        `json:"procs,omitempty"`
-		HostCPUs     int          `json:"host_cpus"`
-		Parallelism  int          `json:"parallelism"`
-		Engine       string       `json:"engine"`
-		TotalWallMS  float64      `json:"total_wall_ms"`
-		SerialWallMS float64      `json:"serial_wall_ms,omitempty"`
-		Speedup      float64      `json:"speedup_vs_serial,omitempty"`
-		Cache        *cacheJSON   `json:"cache,omitempty"`
-		Engines      *engineJSON  `json:"engines,omitempty"`
-		Scaling      []scalePoint `json:"scaling,omitempty"`
-		FailedChecks int          `json:"failed_checks"`
-		Experiments  []expJSON    `json:"experiments"`
+		GeneratedAt  string              `json:"generated_at"`
+		Quick        bool                `json:"quick"`
+		Procs        []int               `json:"procs,omitempty"`
+		HostCPUs     int                 `json:"host_cpus"`
+		Parallelism  int                 `json:"parallelism"`
+		Engine       string              `json:"engine"`
+		TotalWallMS  float64             `json:"total_wall_ms"`
+		SerialWallMS float64             `json:"serial_wall_ms,omitempty"`
+		Speedup      float64             `json:"speedup_vs_serial,omitempty"`
+		Cache        *cacheJSON          `json:"cache,omitempty"`
+		Engines      *engineJSON         `json:"engines,omitempty"`
+		Scaling      []scalePoint        `json:"scaling,omitempty"`
+		Sampling     *bench.SamplingJSON `json:"sampling,omitempty"`
+		FailedChecks int                 `json:"failed_checks"`
+		Experiments  []expJSON           `json:"experiments"`
 	}{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Quick:        cfg.Quick,
@@ -408,6 +455,7 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		Cache:        cacheInfo,
 		Engines:      engineInfo,
 		Scaling:      scalingInfo,
+		Sampling:     samplingInfo,
 		FailedChecks: failed,
 		Experiments:  exps,
 	}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSamplingValidationQuick runs the quick sampling tier end to end:
+// every cell's ground truth must land inside the estimator's intervals,
+// a majority of iterations must be fast-forwarded, and the perturbed
+// cell must exercise the rollback path at least once.
+func TestSamplingValidationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling tier runs full workloads")
+	}
+	sj, err := SamplingValidation(SuiteConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sj.AllContained {
+		t.Log(sj.Format())
+		t.Error("ground truth escaped a confidence interval")
+	}
+	for _, cell := range sj.Cells {
+		if cell.Report.SkipRatio < 0.4 {
+			t.Errorf("%s: skip ratio %.2f < 0.4; sampling barely engaged", cell.Label, cell.Report.SkipRatio)
+		}
+		if cell.Scenario != "" && cell.Report.Estimate.Rollbacks == 0 {
+			t.Errorf("%s: perturbed cell triggered no rollback; the phase change was never detected", cell.Label)
+		}
+	}
+	if sj.Speedup < 2 {
+		t.Errorf("quick tier speedup %.2fx < 2x", sj.Speedup)
+	}
+}

@@ -322,10 +322,15 @@ func (s *Suite) simulate(prog *ir.Program, opts interp.Options, desc string) (*i
 	return res, nil
 }
 
-// execute simulates with up to Parallelism simulations in flight.
+// execute simulates with up to Parallelism simulations in flight. A
+// serial suite (Parallelism 1) has nothing in flight to bound — Prewarm
+// already declines to fan out — so it skips the semaphore entirely rather
+// than paying a channel round-trip per simulation.
 func (s *Suite) execute(prog *ir.Program, opts interp.Options, desc string) (*interp.Result, error) {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	if cap(s.sem) > 1 {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
 	if opts.Engine == "" {
 		opts.Engine = s.cfg.Engine
 	}

@@ -180,6 +180,12 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	if opts.Trace != nil {
 		return "", false
 	}
+	if opts.Sample != nil || opts.ckHook != nil {
+		// Sampled runs are estimates, not ground truth; checkpoint-hooked
+		// runs are test scaffolding. Neither may masquerade as (or be
+		// served from) an exact cached result.
+		return "", false
+	}
 	opts = opts.withDefaults()
 	mcfg := opts.Machine
 	mcfg.Procs = opts.Procs

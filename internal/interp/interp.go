@@ -93,6 +93,16 @@ type Options struct {
 	// allocates tracking state and is meant for the differential testing
 	// harness, not for measurement runs.
 	DetectRaces bool
+	// Sample, when non-nil, enables sampled simulation (see sample.go):
+	// long parallel sections alternate detailed windows with fast-forward
+	// gaps charged at window-extrapolated rates over machine checkpoints,
+	// so the Result becomes a confidence-bounded estimate instead of an
+	// exact simulation. Sampled runs require a static policy (the dynamic
+	// feedback controller must observe real per-iteration timer polls),
+	// reject race detection and tracing, and are never cached (CacheKey
+	// returns ok=false). Use internal/simsample to attach confidence
+	// intervals and validate estimates against exhaustive ground truth.
+	Sample *SampleSpec
 	// Engine selects the execution engine: EngineVM (default) compiles the
 	// program to register bytecode with profile-guided specialization and
 	// falls back to the interpreter automatically when compilation is not
@@ -104,6 +114,11 @@ type Options struct {
 	// simulated machine (lock acquires, blocks, grants, releases, barrier
 	// traffic) in virtual-time order.
 	Trace func(simmach.TraceEvent)
+
+	// ckHook, when set, invokes a checkpoint/restore test hook at every
+	// iteration claim (see snapshot.go). Test-only; hooked runs are not
+	// cacheable.
+	ckHook *ckHook
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +224,11 @@ type Result struct {
 	// Races holds the dynamic race detector's findings (only when
 	// Options.DetectRaces was set).
 	Races []RaceReport
+	// Sampling describes the sampled-simulation run that produced this
+	// (estimated) result: per-section detailed-window statistics, skipped
+	// iteration counts and rollbacks. Nil for exhaustive runs, so cached
+	// exhaustive results encode identically to before the field existed.
+	Sampling *SamplingInfo `json:"Sampling,omitempty"`
 }
 
 // runtimeErr aborts execution through the scheduler.
@@ -289,6 +309,25 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		m:           simmach.New(mcfg),
 		controllers: map[int]*core.Controller{},
 		stats:       map[int]*SectionStats{},
+		hook:        opts.ckHook,
+	}
+	if opts.Sample != nil {
+		// Sampled runs produce estimates: reject every mode that needs the
+		// exact event stream. The dynamic controller polls the timer per
+		// iteration (skipped bodies skip the polls), the race detector needs
+		// every access, and traces cannot be rewound across rollbacks.
+		if opts.Policy == PolicyDynamic {
+			return nil, fmt.Errorf("interp: sampled simulation requires a static policy (the dynamic feedback controller must observe every iteration)")
+		}
+		if opts.DetectRaces {
+			return nil, fmt.Errorf("interp: sampled simulation cannot detect races (skipped iterations skip their accesses); run exhaustively")
+		}
+		if opts.Trace != nil {
+			return nil, fmt.Errorf("interp: sampled simulation cannot be traced (rollbacks would replay events); run exhaustively")
+		}
+		spec := opts.Sample.withDefaults()
+		rt.sampSpec = &spec
+		rt.sampAgg = map[int]*SectionSampling{}
 	}
 	if opts.DetectRaces {
 		rt.race = newRaceDetector()
@@ -351,9 +390,18 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	if opts.Engine == EngineVM {
 		if e := vmModuleFor(p); e.err == nil {
 			mod, prof := e.acquire()
+			if prof != nil && (opts.Sample != nil || opts.ckHook != nil) {
+				// A sampled (or checkpoint-exercised) run skips or replays
+				// iterations; its instruction counts would bias the
+				// specialization profile. Leave the profiling pass to the
+				// next exhaustive run.
+				e.release()
+				prof = nil
+			}
 			vt := &vmTask{rt: rt, mod: mod, isMain: true, prof: prof}
 			vt.sites = make([]lockSite, mod.NumLockSites)
 			vt.push(p.MainID, -1, 0)
+			rt.mainVT = vt
 			rt.m.Start(0, vt)
 			vmEntry, vmProf, usedVM = e, prof, true
 		}
@@ -361,6 +409,7 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	if !usedVM {
 		main := &task{rt: rt, isMain: true}
 		main.pushCall(p.MainID, ir.NoReg)
+		rt.mainT = main
 		rt.m.Start(0, main)
 	}
 	if err := rt.m.Run(); err != nil {
@@ -374,6 +423,20 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 	}
 	if rt.race != nil {
 		res.Races = rt.race.reports
+	}
+	if rt.sampSpec != nil {
+		info := &SamplingInfo{Spec: *rt.sampSpec}
+		for _, sec := range p.Sections {
+			sa, ok := rt.sampAgg[sec.ID]
+			if !ok {
+				continue
+			}
+			info.Sections = append(info.Sections, sa)
+			info.DetailedIters += sa.DetailedIters
+			info.SkippedIters += sa.SkippedIters
+			info.Rollbacks += sa.Rollbacks
+		}
+		res.Sampling = info
 	}
 	for _, sec := range p.Sections {
 		st, ok := rt.stats[sec.ID]
@@ -430,6 +493,17 @@ type runtime struct {
 	vmWorkers []*vmTask
 	// race is the dynamic race detector, nil unless Options.DetectRaces.
 	race *raceDetector
+	// mainT/mainVT is the main task of the engine in use; the snapshot
+	// machinery walks it alongside the pooled workers.
+	mainT  *task
+	mainVT *vmTask
+	// hook is the test-only checkpoint/restore hook (Options.ckHook).
+	hook *ckHook
+	// sampSpec (defaulted) and sampAgg carry sampled-simulation state; nil
+	// for exhaustive runs. sampAgg accumulates per-section window stats
+	// across the section's executions, keyed by section ID.
+	sampSpec *SampleSpec
+	sampAgg  map[int]*SectionSampling
 }
 
 func (rt *runtime) fail(format string, args ...any) {
@@ -499,6 +573,9 @@ type sectionRun struct {
 	finished   bool
 	iterations int64
 	startTime  simmach.Time
+	// samp drives sampled simulation over this section execution, nil when
+	// the run is exhaustive or the section is too short to sample.
+	samp *sampler
 }
 
 func (sr *sectionRun) resnap() {
@@ -530,6 +607,9 @@ func (sr *sectionRun) onBarrierComplete(last simmach.Time) {
 		// The section's iterations are exhausted: it ends here.
 		if sr.dynamic {
 			sr.ctl.EndExecution(core.Nanos(last), sr.measure())
+		}
+		if sr.samp != nil {
+			sr.samp.finishExec()
 		}
 		sr.finished = true
 		st := sr.stats
@@ -724,6 +804,18 @@ func (t *task) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
 			t.flush(p)
 			return simmach.Ready, false
 		}
+		// The claim begins the dispatch with nothing yet charged — the
+		// checkpoint protocol's anchor point (simmach/checkpoint.go).
+		if h := t.rt.hook; h != nil {
+			if st, handled := h.atClaim(t.rt); handled {
+				return st, false
+			}
+		}
+		if sp := sr.samp; sp != nil {
+			if st, handled := sp.atClaim(p); handled {
+				return st, false
+			}
+		}
 		p.Advance(t.rt.opts.ClaimCost)
 		if sr.next >= sr.hi {
 			p.BarrierArrive(t.rt.barrier)
@@ -806,6 +898,9 @@ func (t *task) enterSection(p *simmach.Proc, fr *frame, in ir.Instr) {
 	sr.stats.ChosenVersion = sr.versionIdx
 	if rt.race != nil {
 		rt.race.enterSection(sec.Name)
+	}
+	if rt.sampSpec != nil && hi-lo >= rt.sampSpec.MinSectionIters {
+		sr.samp = newSampler(rt, sr)
 	}
 	rt.barrier.OnComplete = sr.onBarrierComplete
 	if rt.workers == nil {

@@ -304,6 +304,17 @@ func (t *vmTask) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
 			t.flush(p)
 			return simmach.Ready, false
 		}
+		// Checkpoint anchor point, as in task.sectionStep.
+		if h := t.rt.hook; h != nil {
+			if st, handled := h.atClaim(t.rt); handled {
+				return st, false
+			}
+		}
+		if sp := sr.samp; sp != nil {
+			if st, handled := sp.atClaim(p); handled {
+				return st, false
+			}
+		}
 		p.Advance(t.rt.opts.ClaimCost)
 		if sr.next >= sr.hi {
 			p.BarrierArrive(t.rt.barrier)
@@ -400,6 +411,9 @@ func (t *vmTask) enterSection(p *simmach.Proc, fr *vmFrame, in *vm.Instr) {
 	sr.stats.ChosenVersion = sr.versionIdx
 	if rt.race != nil {
 		rt.race.enterSection(sec.Name)
+	}
+	if rt.sampSpec != nil && hi-lo >= rt.sampSpec.MinSectionIters {
+		sr.samp = newSampler(rt, sr)
 	}
 	rt.barrier.OnComplete = sr.onBarrierComplete
 	if rt.vmWorkers == nil {

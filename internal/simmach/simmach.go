@@ -65,6 +65,11 @@ const (
 	Blocked
 	// Done means the processor has no more work.
 	Done
+	// Restored means the Step invoked Machine.Restore: the machine state
+	// (including this processor's) has been reset to a checkpoint, and the
+	// scheduler must discard the interrupted dispatch and continue from the
+	// restored state. See checkpoint.go for the protocol.
+	Restored
 )
 
 func (s Status) String() string {
@@ -75,6 +80,8 @@ func (s Status) String() string {
 		return "blocked"
 	case Done:
 		return "done"
+	case Restored:
+		return "restored"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -331,6 +338,11 @@ type Machine struct {
 	// deterministic every-Nth contention injection.
 	table  *ParamTable
 	acqSeq int64
+	// cur is the processor whose Step is executing (the checkpoint anchor);
+	// restorePending is set by Restore and consumed when the interrupted
+	// Step reports Restored.
+	cur            *Proc
+	restorePending bool
 
 	// Trace, when set, receives every synchronization event as it occurs
 	// in virtual time. It must not call back into the machine.
@@ -433,12 +445,20 @@ func (m *Machine) Run() error {
 			return nil
 		}
 		p := m.ready.pop()
+		m.cur = p
 		// The inner loop is the single-runnable fast path: while p is the
 		// only runnable processor (serial sections, uncontended stretches),
 		// redispatch it directly instead of cycling it through the heap.
 		for {
 			m.steps++
 			st := p.process.Step(p)
+			if st == Restored {
+				// The step restored a checkpoint: every processor's state
+				// (p's included) was reset by Restore. Discard the dispatch
+				// and resume scheduling from the restored ready heap.
+				m.checkRestored(p)
+				break
+			}
 			if st == Ready {
 				p.status = Ready
 				if m.ready.len() == 0 {
