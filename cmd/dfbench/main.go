@@ -30,6 +30,18 @@
 // outside its interval. `-run none` selects no experiments, for running
 // the sampling tier alone.
 //
+// -policies runs the policy-space tier (internal/bench.PoliciesValidation):
+// the generated policy space (internal/obl/polgen) is measured statically
+// on every bench app, the representative-set search (internal/polsearch)
+// prunes it with a measured regret bound, and the bandit controller duels
+// round-robin over the full space on each adaptivity scenario. The tier is
+// embedded as the `policies` block of the JSON document; -policies-validate
+// implies -policies and exits nonzero unless every claim holds.
+//
+// -controller selects the dynamic feedback controller for the suite's
+// dynamic runs (roundrobin, the paper's, or ucb, the confidence-bound
+// bandit). The controller kind is part of the simulation cache key.
+//
 // Usage:
 //
 //	dfbench [-quick] [-procs 1,2,4,6,8,12,16] [-run table2,figure4|none]
@@ -37,7 +49,8 @@
 //	        [-p N] [-csv dir] [-json path] [-speedup] [-list]
 //	        [-cache dir] [-cache-mem N] [-cache-verify] [-cache-timing]
 //	        [-engine vm|interp] [-engine-timing] [-scaling 1,2,4]
-//	        [-sample] [-sample-validate] [-cpuprofile path]
+//	        [-controller roundrobin|ucb] [-sample] [-sample-validate]
+//	        [-policies] [-policies-validate] [-cpuprofile path]
 //
 // -perturb selects the adaptivity experiment for one or more named
 // perturbation scenarios (internal/perturb): the environment changes
@@ -58,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/parexec"
 	"repro/internal/perturb"
@@ -79,10 +93,13 @@ func main() {
 	cacheVerify := flag.Bool("cache-verify", false, "re-simulate every cache hit and byte-compare it against the cached record; implies a warm verification pass")
 	cacheTiming := flag.Bool("cache-timing", false, "rerun the suite warm against the populated cache and record the cold/warm speedup")
 	engine := flag.String("engine", "", "execution engine: vm (default) or interp")
+	controller := flag.String("controller", "", "feedback controller for dynamic runs: roundrobin (default) or ucb")
 	engineTiming := flag.Bool("engine-timing", false, "rerun the suite cold under the other engine, record both wall-clocks, and verify the reports are byte-identical")
 	scaling := flag.String("scaling", "", "comma-separated parallelism levels (e.g. 1,2,4): rerun the suite cold at each, record the wall-clock curve, and verify the reports are byte-identical")
 	sample := flag.Bool("sample", false, "run the sampled-simulation tier (sampled and exhaustive passes per large-workload cell) and record it in the JSON document")
 	sampleValidate := flag.Bool("sample-validate", false, "implies -sample; exit nonzero unless every ground-truth metric falls inside its confidence interval")
+	policies := flag.Bool("policies", false, "run the policy-space tier (generated-space search plus controller duels) and record it in the JSON document")
+	policiesValidate := flag.Bool("policies-validate", false, "implies -policies; exit nonzero unless the representative-set and controller claims all hold")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	flag.Parse()
 
@@ -105,7 +122,11 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par), Engine: *engine}
+	if !core.ValidKind(*controller) {
+		fmt.Fprintf(os.Stderr, "dfbench: unknown controller %q (want %s or %s)\n", *controller, core.KindRoundRobin, core.KindUCB)
+		os.Exit(2)
+	}
+	cfg := bench.SuiteConfig{Quick: *quick, Parallelism: parexec.Workers(*par), Engine: *engine, Controller: *controller}
 	var cache *simcache.Cache
 	if *cacheDir != "" || *cacheVerify || *cacheTiming {
 		// Verify and timing passes work against a memory-only cache when no
@@ -332,14 +353,29 @@ func main() {
 		samplingInfo = si
 	}
 
+	var policiesInfo *bench.PoliciesJSON
+	if *policies || *policiesValidate {
+		pi, err := bench.PoliciesValidation(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: policies tier: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(pi.Format())
+		policiesInfo = pi
+	}
+
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo, engineInfo, scalingInfo, samplingInfo); err != nil {
+		if err := writeJSON(*jsonPath, cfg, reports, walls, totalMS, serialMS, speedupX, failed, cacheInfo, engineInfo, scalingInfo, samplingInfo, policiesInfo); err != nil {
 			fmt.Fprintf(os.Stderr, "dfbench: json: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	if *sampleValidate && !samplingInfo.AllContained {
 		fmt.Fprintf(os.Stderr, "dfbench: sampling validation failed: ground truth escaped a confidence interval\n")
+		os.Exit(1)
+	}
+	if *policiesValidate && !policiesInfo.OK {
+		fmt.Fprintf(os.Stderr, "dfbench: policies validation failed: a representative-set or controller claim did not hold\n")
 		os.Exit(1)
 	}
 	if failed > 0 {
@@ -413,7 +449,8 @@ type scalePoint struct {
 // results accumulate as a perf trajectory across changes.
 func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, walls []float64,
 	totalMS, serialMS, speedup float64, failed int, cacheInfo *cacheJSON,
-	engineInfo *engineJSON, scalingInfo []scalePoint, samplingInfo *bench.SamplingJSON) error {
+	engineInfo *engineJSON, scalingInfo []scalePoint, samplingInfo *bench.SamplingJSON,
+	policiesInfo *bench.PoliciesJSON) error {
 	type expJSON struct {
 		*bench.Report
 		HostWallMS float64 `json:"host_wall_ms"`
@@ -440,6 +477,7 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		Engines      *engineJSON         `json:"engines,omitempty"`
 		Scaling      []scalePoint        `json:"scaling,omitempty"`
 		Sampling     *bench.SamplingJSON `json:"sampling,omitempty"`
+		Policies     *bench.PoliciesJSON `json:"policies,omitempty"`
 		FailedChecks int                 `json:"failed_checks"`
 		Experiments  []expJSON           `json:"experiments"`
 	}{
@@ -456,6 +494,7 @@ func writeJSON(path string, cfg bench.SuiteConfig, reports []*bench.Report, wall
 		Engines:      engineInfo,
 		Scaling:      scalingInfo,
 		Sampling:     samplingInfo,
+		Policies:     policiesInfo,
 		FailedChecks: failed,
 		Experiments:  exps,
 	}

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	dfserved [-addr :8080] [-workers N] [-sampling 5ms] [-production 2s]
-//	         [-max-concurrent N] [-cold] [-simcache dir] [-log text|json]
+//	         [-controller roundrobin|ucb] [-max-concurrent N] [-cold]
+//	         [-simcache dir] [-log text|json]
 //	         [-store policies.json | -kv dir]
 //	         [-hub http://host:9090] [-tenant NAME] [-origin ID]
 //	         [-version]
@@ -42,6 +43,7 @@ import (
 
 	"repro/dynfb/store"
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/serve"
 	"repro/internal/simcache"
@@ -61,6 +63,7 @@ func main() {
 	cold := flag.Bool("cold", false, "ignore stored records at boot (always cold-start)")
 	simcacheDir := flag.String("simcache", "", "content-addressed simulation cache directory for OBL runs (empty disables)")
 	engine := flag.String("engine", "", "OBL execution engine: vm (default) or interp; results are byte-identical")
+	controller := flag.String("controller", "", "feedback controller: roundrobin (default) or ucb")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -84,6 +87,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dfserved: unknown engine %q (want %s or %s)\n", *engine, interp.EngineVM, interp.EngineInterp)
 		os.Exit(2)
 	}
+	if !core.ValidKind(*controller) {
+		fmt.Fprintf(os.Stderr, "dfserved: unknown controller %q (want %s or %s)\n", *controller, core.KindRoundRobin, core.KindUCB)
+		os.Exit(2)
+	}
 	cfg := serve.Config{
 		Workers:          *workers,
 		TargetSampling:   *sampling,
@@ -93,6 +100,7 @@ func main() {
 		Tenant:           *tenant,
 		Logger:           logger,
 		Engine:           *engine,
+		Controller:       *controller,
 	}
 
 	// The local store: a JSON file, an embedded KV directory, or memory.

@@ -16,10 +16,11 @@
 //
 // The vet subcommand runs the static safety analyzer (package
 // internal/obl/analysis) over one or more programs: lock-coverage
-// translation validation of every synchronization policy, sync-stripped
-// equivalence checking, and the lint checkers. -all covers the bundled
-// applications, examples/*.obl, and the complete-program listings of
-// docs/obl.md — the CI gate.
+// translation validation of every synchronization policy — the paper's
+// three and every distinct transform point of the generated policy space
+// (internal/obl/polgen) — sync-stripped equivalence checking, and the lint
+// checkers. -all covers the bundled applications, examples/*.obl, and the
+// complete-program listings of docs/obl.md — the CI gate.
 //
 // Exit codes, for both modes: 0 success (vet: no warning-or-worse
 // diagnostics), 1 diagnostics found (compile errors, or vet findings at

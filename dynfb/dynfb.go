@@ -86,6 +86,12 @@ type Config struct {
 	// AutoTuneProduction retunes the production interval at each production
 	// entry using the §5 analysis over the observed history (eq. 9).
 	AutoTuneProduction bool
+	// Controller selects the feedback controller implementation:
+	// core.KindRoundRobin (the paper's controller, the default) or
+	// core.KindUCB (the bandit controller, which skips sampling variants
+	// whose history proves they cannot win — worthwhile once the variant
+	// count grows past a handful).
+	Controller string
 	// LockPairCost overrides the calibrated cost of one uncontended
 	// acquire/release pair, used to convert acquisition counts into
 	// locking overhead time. Zero means calibrate at section creation.
@@ -199,7 +205,7 @@ type Section struct {
 	cfg      Config
 	variants []Variant
 	names    []string // resolved variant names, in declaration order
-	ctl      *core.Controller
+	ctl      core.Ctl
 	epoch    time.Time
 	pairCost time.Duration
 	fp       store.Fingerprint
@@ -244,6 +250,9 @@ func (cfg Config) validate() error {
 	if cfg.WarmStart && cfg.Store == nil {
 		return fmt.Errorf("dynfb: WarmStart requires a Store")
 	}
+	if !core.ValidKind(cfg.Controller) {
+		return fmt.Errorf("dynfb: unknown controller kind %q", cfg.Controller)
+	}
 	if cfg.Store != nil && cfg.Name == "" {
 		return fmt.Errorf("dynfb: a Store requires Config.Name to key the section's records")
 	}
@@ -285,7 +294,7 @@ func NewSection(cfg Config, variants ...Variant) (*Section, error) {
 		names[i] = name
 		policies[i] = core.PolicyInfo{Name: name, Cutoff: core.CutoffComponent(v.Cutoff)}
 	}
-	ctl, err := core.NewController(core.Config{
+	ctl, err := core.NewCtl(cfg.Controller, core.Config{
 		Policies:           policies,
 		TargetSampling:     core.Nanos(cfg.TargetSampling),
 		TargetProduction:   core.Nanos(cfg.TargetProduction),

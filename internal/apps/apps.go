@@ -43,6 +43,7 @@ package apps
 import (
 	"fmt"
 
+	"repro/internal/obl/polgen"
 	"repro/oblc"
 )
 
@@ -374,6 +375,20 @@ func Compile(name string) (*oblc.Compiled, error) {
 		return nil, err
 	}
 	c, err := oblc.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", name, err)
+	}
+	return c, nil
+}
+
+// CompileWithSpecs compiles the named application with generated policy
+// versions registered for every polgen spec, beyond the paper's three.
+func CompileWithSpecs(name string, specs []polgen.Spec) (*oblc.Compiled, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := oblc.CompileWithSpecs(src, specs)
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", name, err)
 	}

@@ -56,6 +56,11 @@ type SuiteConfig struct {
 	// keys; it only enters the in-process memo keys so timing passes
 	// under different engines never share cells.
 	Engine string
+	// Controller selects the dynamic feedback controller for every dynamic
+	// simulation (core.KindRoundRobin, the default, or core.KindUCB).
+	// Unlike Engine, the controller changes measured results, so it is part
+	// of the content-addressed cache key (interp.CacheKey).
+	Controller string
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -233,10 +238,10 @@ func (s *Suite) Params(name string) map[string]int64 {
 // simulated machine. It is safe for concurrent use; identical
 // configurations are simulated exactly once.
 func (s *Suite) Run(name string, opts interp.Options) (*interp.Result, error) {
-	key := fmt.Sprintf("%s|%d|%s|%d|%d|%v%v%v%v%v|%d|%s", name, opts.Procs, opts.Policy,
-		opts.TargetSampling, opts.TargetProduction,
+	key := fmt.Sprintf("%s|%d|%s|%s|%d|%d|%v%v%v%v%v|%d|%s|%s", name, opts.Procs, opts.Policy,
+		opts.Controller, opts.TargetSampling, opts.TargetProduction,
 		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
-		opts.AutoTuneProduction, opts.InstrumentationCost, s.cfg.Engine)
+		opts.AutoTuneProduction, opts.InstrumentationCost, s.cfg.Engine, s.cfg.Controller)
 	return s.runs.Do(key, func() (*interp.Result, error) {
 		c, err := s.App(name)
 		if err != nil {
@@ -256,10 +261,10 @@ func (s *Suite) RunWith(name string, opts interp.Options) (*interp.Result, error
 	for _, k := range sortedKeys(opts.Params) {
 		fmt.Fprintf(&pb, "%s=%d,", k, opts.Params[k])
 	}
-	key := fmt.Sprintf("%s|with|%d|%s|%d|%d|%v%v%v%v%v|%d|%s|%s|%s", name, opts.Procs, opts.Policy,
-		opts.TargetSampling, opts.TargetProduction,
+	key := fmt.Sprintf("%s|with|%d|%s|%s|%d|%d|%v%v%v%v%v|%d|%s|%s|%s|%s", name, opts.Procs, opts.Policy,
+		opts.Controller, opts.TargetSampling, opts.TargetProduction,
 		opts.EarlyCutoff, opts.OrderByHistory, opts.SpanExecutions, opts.AsyncSwitch,
-		opts.AutoTuneProduction, opts.InstrumentationCost, pb.String(), opts.Perturb.Key(), s.cfg.Engine)
+		opts.AutoTuneProduction, opts.InstrumentationCost, pb.String(), opts.Perturb.Key(), s.cfg.Engine, s.cfg.Controller)
 	return s.runs.Do(key, func() (*interp.Result, error) {
 		c, err := s.App(name)
 		if err != nil {
@@ -284,6 +289,12 @@ func (s *Suite) RunSerial(name string) (*interp.Result, error) {
 // cache when one is configured (verifying hits when CacheVerify is set),
 // otherwise by simulating under the suite-wide in-flight bound.
 func (s *Suite) simulate(prog *ir.Program, opts interp.Options, desc string) (*interp.Result, error) {
+	if opts.Controller == "" {
+		// Resolved here, before the cache lookup: the controller kind is
+		// part of the content address, so the suite default must be in
+		// force when the key is derived.
+		opts.Controller = s.cfg.Controller
+	}
 	cache := s.cfg.Cache
 	key := ""
 	if cache != nil {

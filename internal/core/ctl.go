@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Ctl is the controller interface the runtimes drive. Two implementations
+// exist: the paper's round-robin sampling controller (Controller) and a
+// bandit controller (ControllerUCB) that allocates sampling intervals by
+// confidence bounds instead of visiting every policy each round. Both obey
+// the same driving protocol — BeginExecution / Expired / CompletePhase /
+// EndExecution under the switch barrier — so every runtime (the simulated
+// machine, the wall-clock dynfb runtime, the serving tier) selects between
+// them with a configuration string and no other change.
+type Ctl interface {
+	// Kind identifies the implementation ("roundrobin" or "ucb"); it keys
+	// cache entries and persisted state so histories from different
+	// controllers never mix.
+	Kind() string
+
+	Config() Config
+	Phase() Phase
+	CurrentPolicy() int
+	PolicyName(i int) string
+	NumPolicies() int
+	Rounds() int
+	Samples() []Sample
+	Switches() []Switch
+	Stats() []PolicyStats
+	TargetInterval() Nanos
+	Expired(now Nanos) bool
+	Deadline() Nanos
+
+	BeginExecution(now Nanos)
+	CompletePhase(now Nanos, m Measurement) int
+	EndExecution(now Nanos, m Measurement)
+
+	LastWinner() (int, bool)
+	LastWinnerOverhead() float64
+	SeedHistory(seed Seed) error
+	LateSeed(seed Seed) error
+	BestKnownPolicy() int
+	RecommendProduction() (Nanos, bool)
+}
+
+// Controller kinds accepted by NewCtl. The empty string selects the
+// paper's controller.
+const (
+	KindRoundRobin = "roundrobin"
+	KindUCB        = "ucb"
+)
+
+// Kind returns KindRoundRobin: the Controller samples every policy in
+// round-robin order each round, as the paper's implementation does.
+func (c *Controller) Kind() string { return KindRoundRobin }
+
+// ValidKind reports whether kind names a known controller implementation
+// (the empty string selects the default).
+func ValidKind(kind string) bool {
+	switch kind {
+	case "", KindRoundRobin, KindUCB:
+		return true
+	}
+	return false
+}
+
+// NormalizeKind resolves the empty kind to KindRoundRobin, for cache keys
+// and persisted state that must not distinguish "" from the default.
+func NormalizeKind(kind string) string {
+	if kind == "" {
+		return KindRoundRobin
+	}
+	return kind
+}
+
+// NewCtl builds a controller of the given kind. The empty kind defaults to
+// the paper's round-robin controller.
+func NewCtl(kind string, cfg Config) (Ctl, error) {
+	switch kind {
+	case "", KindRoundRobin:
+		return NewController(cfg)
+	case KindUCB:
+		return NewControllerUCB(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown controller kind %q (want %q or %q)", kind, KindRoundRobin, KindUCB)
+	}
+}
+
+var (
+	_ Ctl = (*Controller)(nil)
+	_ Ctl = (*ControllerUCB)(nil)
+)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/obl/ir"
 )
 
@@ -65,7 +66,8 @@ func (w *fpWriter) str(s string) {
 func computeFingerprint(p *ir.Program) string {
 	h := sha256.New()
 	w := &fpWriter{h: h}
-	w.str("obl-program-v1")
+	// v2: adds Version.Chunk (iteration-scheduling granularity).
+	w.str("obl-program-v2")
 
 	w.u64(uint64(len(p.ParamNames)))
 	for _, name := range p.ParamNames {
@@ -135,6 +137,7 @@ func computeFingerprint(p *ir.Program) string {
 			for _, fl := range v.Flags {
 				w.boolean(fl)
 			}
+			w.i64(int64(v.Chunk))
 		}
 		for _, pol := range sortedFPKeys(s.PolicyVersion) {
 			w.str(pol)
@@ -195,10 +198,13 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	w := &fpWriter{h: h}
 	// v2: adds the perturbation-schedule encoding. The version bump also
 	// retires v1 entries, whose cached results predate SectionStats.Switches.
-	w.str("obl-run-v2")
+	// v3: adds the controller kind (normalized, so "" and "roundrobin"
+	// share entries) and retires v2 entries predating Version.Chunk.
+	w.str("obl-run-v3")
 	w.str(Fingerprint(p))
 	w.i64(int64(opts.Procs))
 	w.str(opts.Policy)
+	w.str(core.NormalizeKind(opts.Controller))
 	w.i64(int64(opts.TargetSampling))
 	w.i64(int64(opts.TargetProduction))
 	w.boolean(opts.EarlyCutoff)

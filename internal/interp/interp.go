@@ -43,6 +43,11 @@ type Options struct {
 	Procs int
 	// Policy is a static policy name or PolicyDynamic. Default dynamic.
 	Policy string
+	// Controller selects the dynamic feedback controller implementation:
+	// core.KindRoundRobin (the paper's controller, the default) or
+	// core.KindUCB (the bandit controller, which skips sampling policies
+	// whose history proves they cannot win). Ignored for static policies.
+	Controller string
 	// TargetSampling and TargetProduction configure the dynamic feedback
 	// intervals (defaults: 10ms and 100s, the paper's headline settings).
 	TargetSampling   simmach.Time
@@ -300,6 +305,9 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 			}
 		}
 	}
+	if !core.ValidKind(opts.Controller) {
+		return nil, fmt.Errorf("interp: unknown controller kind %q", opts.Controller)
+	}
 	mcfg := opts.Machine
 	mcfg.Procs = opts.Procs
 	rt := &runtime{
@@ -307,7 +315,7 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		prep:        prepare(p),
 		opts:        opts,
 		m:           simmach.New(mcfg),
-		controllers: map[int]*core.Controller{},
+		controllers: map[int]core.Ctl{},
 		stats:       map[int]*SectionStats{},
 		hook:        opts.ckHook,
 	}
@@ -324,6 +332,11 @@ func Run(p *ir.Program, opts Options) (res *Result, err error) {
 		}
 		if opts.Trace != nil {
 			return nil, fmt.Errorf("interp: sampled simulation cannot be traced (rollbacks would replay events); run exhaustively")
+		}
+		for _, sec := range p.Sections {
+			if vi, ok := sec.PolicyVersion[opts.Policy]; ok && sec.Versions[vi].Chunk > 1 {
+				return nil, fmt.Errorf("interp: sampled simulation cannot run chunk-scheduled version %q of section %s (the sampler's fast-forward manipulates the shared claim counter); run exhaustively", opts.Policy, sec.Name)
+			}
 		}
 		spec := opts.Sample.withDefaults()
 		rt.sampSpec = &spec
@@ -479,7 +492,7 @@ type runtime struct {
 	m           *simmach.Machine
 	paramVals   []int64
 	output      []string
-	controllers map[int]*core.Controller
+	controllers map[int]core.Ctl
 	stats       map[int]*SectionStats
 	barrier     *simmach.Barrier
 	// baseFlags is the site-flag vector used outside parallel sections in
@@ -526,7 +539,7 @@ func (rt *runtime) sectionStats(sec *ir.Section) *SectionStats {
 // controller returns (creating on demand) the persistent dynamic feedback
 // controller of a section. Policies are the section's distinct versions;
 // the early cut-off components follow the monotonicity argument of §4.5.
-func (rt *runtime) controller(sec *ir.Section) *core.Controller {
+func (rt *runtime) controller(sec *ir.Section) core.Ctl {
 	if c, ok := rt.controllers[sec.ID]; ok {
 		return c
 	}
@@ -544,7 +557,7 @@ func (rt *runtime) controller(sec *ir.Section) *core.Controller {
 		}
 		policies[i] = info
 	}
-	c := core.MustNewController(core.Config{
+	c, err := core.NewCtl(rt.opts.Controller, core.Config{
 		Policies:           policies,
 		TargetSampling:     core.Nanos(rt.opts.TargetSampling),
 		TargetProduction:   core.Nanos(rt.opts.TargetProduction),
@@ -553,6 +566,9 @@ func (rt *runtime) controller(sec *ir.Section) *core.Controller {
 		SpanExecutions:     rt.opts.SpanExecutions,
 		AutoTuneProduction: rt.opts.AutoTuneProduction,
 	})
+	if err != nil {
+		rt.fail("controller: %v", err) // kind was validated in Run
+	}
 	rt.controllers[sec.ID] = c
 	return c
 }
@@ -567,15 +583,76 @@ type sectionRun struct {
 	args       []Value
 	versionIdx int
 	dynamic    bool
-	ctl        *core.Controller
+	ctl        core.Ctl
 	snap       []simmach.Counters // per-proc counters at phase start
 	secSnap    []simmach.Counters // per-proc counters at section start
 	finished   bool
 	iterations int64
 	startTime  simmach.Time
+	// chunkNext and chunkRem are per-processor chunk cursors, allocated
+	// lazily when a version with Chunk > 1 runs: a worker holding part of
+	// a claimed chunk takes its next iteration locally without touching
+	// the shared counter (and without paying the claim cost).
+	chunkNext []int64
+	chunkRem  []int64
 	// samp drives sampled simulation over this section execution, nil when
 	// the run is exhaustive or the section is too short to sample.
 	samp *sampler
+}
+
+// claimIter claims the next iteration for processor p under the active
+// version's scheduling granularity. ok=false means no iterations remain
+// for this worker and it should arrive at the barrier. Both execution
+// engines claim through this method, so chunked scheduling cannot diverge
+// between them.
+func (sr *sectionRun) claimIter(p *simmach.Proc) (iter int64, ok bool) {
+	if sr.chunkRem != nil {
+		// Drain any locally held chunk first, whatever version is active
+		// now: a dynamic-feedback switch away from a chunked version must
+		// not strand claimed-but-unexecuted iterations.
+		if id := p.ID(); sr.chunkRem[id] > 0 {
+			iter = sr.chunkNext[id]
+			sr.chunkNext[id]++
+			sr.chunkRem[id]--
+			sr.iterations++
+			return iter, true
+		}
+	}
+	p.Advance(sr.rt.opts.ClaimCost)
+	if sr.next >= sr.hi {
+		return 0, false
+	}
+	if chunk := int64(sr.sec.Versions[sr.versionIdx].Chunk); chunk > 1 {
+		if sr.chunkRem == nil {
+			sr.chunkNext = make([]int64, sr.rt.opts.Procs)
+			sr.chunkRem = make([]int64, sr.rt.opts.Procs)
+		}
+		id := p.ID()
+		take := chunk
+		if take > sr.hi-sr.next {
+			take = sr.hi - sr.next
+		}
+		sr.chunkNext[id] = sr.next + 1
+		sr.chunkRem[id] = take - 1
+		iter = sr.next
+		sr.next += take
+		sr.iterations++
+		return iter, true
+	}
+	iter = sr.next
+	sr.next++
+	sr.iterations++
+	return iter, true
+}
+
+// remaining counts unexecuted iterations: the unclaimed range plus every
+// worker's locally held chunk remainder.
+func (sr *sectionRun) remaining() int64 {
+	rem := sr.hi - sr.next
+	for _, r := range sr.chunkRem {
+		rem += r
+	}
+	return rem
 }
 
 func (sr *sectionRun) resnap() {
@@ -603,7 +680,7 @@ func (sr *sectionRun) measure() core.Measurement {
 // onBarrierComplete runs exactly once per rendezvous, before any
 // participant is released (synchronous switching, §4.1).
 func (sr *sectionRun) onBarrierComplete(last simmach.Time) {
-	if sr.next >= sr.hi {
+	if sr.remaining() <= 0 {
 		// The section's iterations are exhausted: it ends here.
 		if sr.dynamic {
 			sr.ctl.EndExecution(core.Nanos(last), sr.measure())
@@ -816,15 +893,12 @@ func (t *task) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
 				return st, false
 			}
 		}
-		p.Advance(t.rt.opts.ClaimCost)
-		if sr.next >= sr.hi {
+		iter, ok := sr.claimIter(p)
+		if !ok {
 			p.BarrierArrive(t.rt.barrier)
 			t.wphase = wAfterBarrier
 			return simmach.Blocked, false
 		}
-		iter := sr.next
-		sr.next++
-		sr.iterations++
 		if sr.dynamic {
 			p.Advance(t.rt.opts.DispatchCost)
 		}

@@ -43,6 +43,8 @@ type sectionRunSnap struct {
 	finished     bool
 	iterations   int64
 	startTime    simmach.Time
+	chunkNext    []int64
+	chunkRem     []int64
 }
 
 type sectionStatsSnap struct {
@@ -125,6 +127,8 @@ func (rt *runtime) snapshot() *runSnapshot {
 			finished:   sr.finished,
 			iterations: sr.iterations,
 			startTime:  sr.startTime,
+			chunkNext:  append([]int64(nil), sr.chunkNext...),
+			chunkRem:   append([]int64(nil), sr.chunkRem...),
 		},
 		stats: make(map[int]sectionStatsSnap, len(rt.stats)),
 	}
@@ -270,6 +274,12 @@ func (rt *runtime) restoreSnapshot(s *runSnapshot) {
 	sr.finished = s.srs.finished
 	sr.iterations = s.srs.iterations
 	sr.startTime = s.srs.startTime
+	if s.srs.chunkNext == nil {
+		sr.chunkNext, sr.chunkRem = nil, nil
+	} else {
+		sr.chunkNext = append(sr.chunkNext[:0], s.srs.chunkNext...)
+		sr.chunkRem = append(sr.chunkRem[:0], s.srs.chunkRem...)
+	}
 	// The active section at the checkpoint owns the switch barrier again.
 	rt.barrier.OnComplete = sr.onBarrierComplete
 

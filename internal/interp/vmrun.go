@@ -315,15 +315,12 @@ func (t *vmTask) sectionStep(p *simmach.Proc) (simmach.Status, bool) {
 				return st, false
 			}
 		}
-		p.Advance(t.rt.opts.ClaimCost)
-		if sr.next >= sr.hi {
+		iter, ok := sr.claimIter(p)
+		if !ok {
 			p.BarrierArrive(t.rt.barrier)
 			t.wphase = wAfterBarrier
 			return simmach.Blocked, false
 		}
-		iter := sr.next
-		sr.next++
-		sr.iterations++
 		if sr.dynamic {
 			p.Advance(t.rt.opts.DispatchCost)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/obl/callgraph"
 	"repro/internal/obl/commute"
 	"repro/internal/obl/parser"
+	"repro/internal/obl/polgen"
 	"repro/internal/obl/sema"
 	"repro/internal/obl/syncopt"
 )
@@ -19,7 +20,8 @@ type PolicyUnit struct {
 
 // Unit is an analyzable compilation of one OBL source: the checked base
 // program plus every synchronization-optimized variant the compiler would
-// emit — one clone per policy and the flag-dispatch single version. The
+// emit — one clone per paper policy, one per distinct transform point of
+// the generated policy space, and the flag-dispatch single version. The
 // mutation operators may edit the variant programs between BuildUnit and
 // Validate; Validate re-checks what it needs.
 type Unit struct {
@@ -30,8 +32,9 @@ type Unit struct {
 	BaseCG   *callgraph.Graph
 	// Reports are the commutativity analysis results.
 	Reports []commute.LoopReport
-	// Policies holds the per-policy transformed clones, in AllPolicies
-	// order.
+	// Policies holds the per-policy transformed clones: the paper's three
+	// in AllPolicies order, then the generated space's distinct transform
+	// points under their polgen spec names.
 	Policies []*PolicyUnit
 	// Flagged is the flag-dispatch single version; Flags records which
 	// conditional sites each policy enables.
@@ -77,6 +80,29 @@ func BuildUnit(src string) (*Unit, []Diagnostic, error) {
 			return nil, nil, fmt.Errorf("analysis: %s: %w", policy, err)
 		}
 		u.Policies = append(u.Policies, &PolicyUnit{Policy: policy, Prog: clone})
+	}
+
+	// The generated policy space: one transform clone per distinct
+	// synchronization parameter point. Chunked scheduling variants share a
+	// transform (Chunk changes codegen, not the placed regions), so each
+	// (Coarsen, Lift) group is validated once under its first spec's name.
+	seenParams := map[syncopt.Params]bool{}
+	for _, spec := range polgen.Space() {
+		params := spec.SyncParams()
+		if seenParams[params] {
+			continue
+		}
+		seenParams[params] = true
+		clone := ast.CloneProgram(prog)
+		cinfo, err := sema.Check(clone)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: recheck clone (%s): %w", spec.Name(), err)
+		}
+		ccg := callgraph.Build(cinfo)
+		if err := syncopt.ApplyParams(clone, cinfo, ccg, params); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %w", spec.Name(), err)
+		}
+		u.Policies = append(u.Policies, &PolicyUnit{Policy: syncopt.Policy(spec.Name()), Prog: clone})
 	}
 
 	flagged := ast.CloneProgram(prog)

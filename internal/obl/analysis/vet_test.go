@@ -127,3 +127,52 @@ func TestDiagnosticRendering(t *testing.T) {
 		t.Errorf("sarif render: %q", sb.String())
 	}
 }
+
+// TestVetFlagsMiscompiledGeneratedVersion pins the E100 gate on the
+// generated policy space: eliding a region from a generated version's
+// transformed program must surface OBL-E100 attributed to that version's
+// spec name, proving the lock-coverage validator guards generated versions
+// exactly as it guards the paper's three.
+func TestVetFlagsMiscompiledGeneratedVersion(t *testing.T) {
+	src, err := apps.Source("water")
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	u, diags, err := BuildUnit(src)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("unexpected build diagnostics: %v", diags)
+	}
+	var gen *PolicyUnit
+	for _, pu := range u.Policies {
+		if strings.HasPrefix(string(pu.Policy), "g-") {
+			gen = pu
+			break
+		}
+	}
+	if gen == nil {
+		t.Fatal("no generated policy unit in BuildUnit output")
+	}
+	for _, d := range u.Validate() {
+		if d.Severity >= Warning && d.Policy == string(gen.Policy) {
+			t.Fatalf("generated version %s not clean before mutation: %s", gen.Policy, d)
+		}
+	}
+	if n := CountRegions(gen.Prog); n == 0 {
+		t.Fatalf("%s: no regions to mutate", gen.Policy)
+	}
+	if err := ElideRegion(gen.Prog, 0); err != nil {
+		t.Fatalf("elide: %v", err)
+	}
+	found := false
+	for _, d := range u.Validate() {
+		if d.Code == CodeUncoveredWrite && d.Policy == string(gen.Policy) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("elided region in generated version %s not flagged OBL-E100", gen.Policy)
+	}
+}

@@ -265,6 +265,11 @@ type Version struct {
 	// Flags configures the conditional synchronization constructs for the
 	// flag-dispatch mode (§4.2); nil otherwise.
 	Flags []bool
+	// Chunk is the iteration-scheduling granularity: 0 or 1 means workers
+	// claim one iteration at a time from the shared counter (the paper's
+	// dynamic schedule); k > 1 means workers claim chunks of k contiguous
+	// iterations, trading load balance for claim traffic.
+	Chunk int
 }
 
 // Label returns the version's display name, e.g. "Bounded/Aggressive".

@@ -93,7 +93,9 @@ func Dedup(p *ir.Program) {
 		newPV := map[string]int{}
 		for _, v := range sec.Versions {
 			fid := redirect[v.FuncID]
-			key := fmt.Sprintf("%d|%v", fid, v.Flags)
+			// Chunk participates in the key: scheduling variants share code
+			// but are distinct versions at run time.
+			key := fmt.Sprintf("%d|%v|%d", fid, v.Flags, v.Chunk)
 			if mi, ok := byFunc[key]; ok {
 				merged[mi].Policies = append(merged[mi].Policies, v.Policies...)
 				for _, pol := range v.Policies {

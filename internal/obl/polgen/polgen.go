@@ -1,0 +1,107 @@
+// Package polgen generates synchronization-policy versions beyond the
+// paper's three. The paper proves dynamic feedback over Original, Bounded
+// and Aggressive; the interesting regime past that is a *space* of
+// generated versions — parameterized lock-coarsening levels, loop lock
+// lifting on or off, and chunked iteration-scheduling variants — searched
+// offline for a representative subset (internal/polsearch) and selected
+// among online by a controller (internal/core).
+//
+// Every generated version carries a canonical descriptor (Spec.Name) that
+// doubles as its policy name: the compiler registers it in each section's
+// PolicyVersion map exactly like a hand-written policy, so multi-version
+// codegen, flag dispatch and the lock-coverage validator apply unchanged.
+package polgen
+
+import (
+	"fmt"
+
+	"repro/internal/obl/syncopt"
+)
+
+// Spec is one point in the generated policy space.
+type Spec struct {
+	// Coarsen is the lock-coarsening level: the maximum number of critical
+	// regions the optimizer may coalesce into one enlarged region. 1
+	// disables coalescing (every region stays as placed), k > 1 bounds the
+	// coarsening depth, 0 coarsens without bound (the Aggressive shape).
+	Coarsen int
+	// Lift enables interprocedural and loop lock lifting.
+	Lift bool
+	// Chunk is the iteration-scheduling granularity of the section's
+	// parallel loop: 0 or 1 claims one iteration at a time from the shared
+	// counter (the paper's dynamic schedule); k > 1 claims chunks of k
+	// contiguous iterations, trading load balance for claim traffic.
+	Chunk int
+}
+
+// Name returns the spec's canonical descriptor, used as its policy name.
+// The format is "g-c<level>-l<0|1>-k<chunk>", where level "u" means
+// unbounded coarsening; e.g. "g-cu-l1-k4" coarsens without bound, lifts
+// locks out of loops, and schedules iterations in chunks of 4.
+func (s Spec) Name() string {
+	level := "u"
+	if s.Coarsen > 0 {
+		level = fmt.Sprintf("%d", s.Coarsen)
+	}
+	lift := 0
+	if s.Lift {
+		lift = 1
+	}
+	chunk := s.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	return fmt.Sprintf("g-c%s-l%d-k%d", level, lift, chunk)
+}
+
+// SyncParams maps the spec onto the synchronization-transformation
+// parameter space. Generated specs always transform and always expand
+// calls (the precondition for coarsening across call boundaries) and never
+// apply the Bounded cycle guard — boundedness in the generated space is
+// expressed through the explicit Coarsen level instead.
+func (s Spec) SyncParams() syncopt.Params {
+	return syncopt.Params{
+		Transform:   true,
+		MaxCoalesce: s.Coarsen,
+		Lift:        s.Lift,
+		ExpandCalls: true,
+	}
+}
+
+// Validate rejects nonsensical specs eagerly.
+func (s Spec) Validate() error {
+	if s.Coarsen < 0 {
+		return fmt.Errorf("polgen: negative coarsening level %d", s.Coarsen)
+	}
+	if s.Chunk < 0 {
+		return fmt.Errorf("polgen: negative chunk size %d", s.Chunk)
+	}
+	return nil
+}
+
+// Space returns the default generated policy space: the cross product of
+// coarsening level {1, 2, unbounded} × lifting {off, on} × scheduling
+// chunk {1, 4, 16} — 18 versions, deterministic and in a fixed order.
+// Identical generated code collapses at dedup exactly as the paper's
+// policies do (§4.2), so the number of distinct bodies per section is
+// typically much smaller than the number of specs.
+func Space() []Spec {
+	var out []Spec
+	for _, coarsen := range []int{1, 2, 0} {
+		for _, lift := range []bool{false, true} {
+			for _, chunk := range []int{1, 4, 16} {
+				out = append(out, Spec{Coarsen: coarsen, Lift: lift, Chunk: chunk})
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the canonical descriptors of specs, in order.
+func Names(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name()
+	}
+	return out
+}

@@ -46,6 +46,43 @@ var AllPolicies = []Policy{Original, Bounded, Aggressive}
 // UnsyncSuffix is appended to generated unsynchronized variants.
 const UnsyncSuffix = "__unsync"
 
+// Params parameterizes the synchronization transformations. The paper's
+// three policies are presets over this space (ParamsFor); the policy
+// generator (internal/obl/polgen) explores the rest of it.
+type Params struct {
+	// Transform enables the lock elimination transformations at all.
+	// False reproduces the Original policy: every update in its own
+	// critical region.
+	Transform bool
+	// BoundedCycles declines any transformation whose resulting region
+	// would contain a call-graph cycle (the Bounded policy's guard).
+	BoundedCycles bool
+	// MaxCoalesce bounds how many critical regions may be coalesced into
+	// one enlarged region (the lock-coarsening level). 0 means unlimited;
+	// 1 disables coalescing entirely.
+	MaxCoalesce int
+	// Lift enables interprocedural and loop lock lifting.
+	Lift bool
+	// ExpandCalls enables expanding calls to fully synchronized callees
+	// into explicit regions around unsynchronized variants, the
+	// precondition for cross-call coalescing.
+	ExpandCalls bool
+}
+
+// ParamsFor returns the parameter preset that reproduces a paper policy.
+// ApplyParams with these presets is behaviourally identical to Apply with
+// the corresponding policy.
+func ParamsFor(p Policy) Params {
+	switch p {
+	case Bounded:
+		return Params{Transform: true, BoundedCycles: true, Lift: true, ExpandCalls: true}
+	case Aggressive:
+		return Params{Transform: true, Lift: true, ExpandCalls: true}
+	default:
+		return Params{}
+	}
+}
+
 // lockTarget classifies the lock of a fully synchronized callee.
 type lockTarget struct {
 	onThis bool
@@ -67,7 +104,7 @@ type rewriter struct {
 	prog   *ast.Program
 	info   *sema.Info
 	cg     *callgraph.Graph
-	policy Policy
+	params Params
 
 	syncSet map[string]bool
 	class   map[string]*classification
@@ -90,8 +127,14 @@ type rewriter struct {
 // parallel loops marked (commute.AnalyzeLoops) and be freshly checked; info
 // and cg must describe prog itself.
 func Apply(prog *ast.Program, info *sema.Info, cg *callgraph.Graph, policy Policy) error {
+	return ApplyParams(prog, info, cg, ParamsFor(policy))
+}
+
+// ApplyParams rewrites prog in place under an arbitrary parameter point.
+// Apply is ApplyParams over the ParamsFor presets.
+func ApplyParams(prog *ast.Program, info *sema.Info, cg *callgraph.Graph, params Params) error {
 	rw := &rewriter{
-		prog: prog, info: info, cg: cg, policy: policy,
+		prog: prog, info: info, cg: cg, params: params,
 		syncSet:      map[string]bool{},
 		class:        map[string]*classification{},
 		visited:      map[string]bool{},
@@ -111,7 +154,7 @@ func Apply(prog *ast.Program, info *sema.Info, cg *callgraph.Graph, policy Polic
 	rw.forEachParallelLoop(func(fn *ast.FuncDecl, loop *ast.ForStmt) {
 		rw.insertDefaultPlacement(loop.Body)
 	})
-	if policy != Original {
+	if params.Transform {
 		// Transform callees bottom-up, then the parallel loop bodies.
 		names := make([]string, 0, len(rw.syncSet))
 		for n := range rw.syncSet {
@@ -260,7 +303,9 @@ func (rw *rewriter) transformFunc(full string) {
 	}
 	rw.transformBlock(fi.Decl.Body)
 	fi.Decl.Body.Stmts = rw.optimizeList(fi.Decl.Body.Stmts)
-	rw.classify(fi)
+	if rw.params.ExpandCalls {
+		rw.classify(fi)
+	}
 	delete(rw.inProg, full)
 	rw.visited[full] = true
 }
@@ -317,6 +362,9 @@ func (rw *rewriter) optimizeList(stmts []ast.Stmt) []ast.Stmt {
 // tryExpandCall turns a statement-level call to a fully synchronized
 // callee into a region around a call to the unsynchronized variant.
 func (rw *rewriter) tryExpandCall(s ast.Stmt) ast.Stmt {
+	if !rw.params.ExpandCalls {
+		return nil
+	}
 	es, ok := s.(*ast.ExprStmt)
 	if !ok {
 		return nil
@@ -345,7 +393,7 @@ func (rw *rewriter) tryExpandCall(s ast.Stmt) ast.Stmt {
 		}
 		lockExpr = ast.CloneExpr(call.Args[cls.lock.param])
 	}
-	if rw.policy == Bounded && rw.cg.CanReachCycle(cls.regionCallees...) {
+	if rw.params.BoundedCycles && rw.cg.CanReachCycle(cls.regionCallees...) {
 		// The new region would contain a call-graph cycle (§3).
 		return nil
 	}
@@ -385,8 +433,12 @@ func (rw *rewriter) mergeRegions(stmts []ast.Stmt) []ast.Stmt {
 		lockCanon := ast.ExprString(sb.Lock)
 		region := []ast.Stmt{}
 		region = append(region, sb.Body.Stmts...)
+		merged := 1 // regions coalesced into the current enlarged region
 		j := i + 1
 		for j < len(stmts) {
+			if rw.params.MaxCoalesce > 0 && merged >= rw.params.MaxCoalesce {
+				break
+			}
 			// Scan ahead for the next region on the same lock, over
 			// absorbable statements.
 			k := j
@@ -413,10 +465,11 @@ func (rw *rewriter) mergeRegions(stmts []ast.Stmt) []ast.Stmt {
 			}
 			next := stmts[k].(*ast.SyncBlock)
 			candidate := append(append(append([]ast.Stmt{}, region...), absorbed...), next.Body.Stmts...)
-			if rw.policy == Bounded && rw.regionReachesCycle(candidate) {
+			if rw.params.BoundedCycles && rw.regionReachesCycle(candidate) {
 				break
 			}
 			region = candidate
+			merged++
 			j = k + 1
 		}
 		if j == i+1 {
@@ -498,6 +551,9 @@ func collectIdents(e ast.Expr, out map[string]bool) {
 // variables the loop does not assign (and which is not the loop variable).
 // On success it strips the inner regions and returns the lock expression.
 func (rw *rewriter) tryLift(body *ast.Block, loopVar *string) ast.Expr {
+	if !rw.params.Lift {
+		return nil
+	}
 	locks := collectSyncLocks(body)
 	if len(locks) == 0 {
 		return nil
@@ -526,7 +582,7 @@ func (rw *rewriter) tryLift(body *ast.Block, loopVar *string) ast.Expr {
 	if !rw.allCallsSyncFreeOutsideRegions(body) {
 		return nil
 	}
-	if rw.policy == Bounded && rw.regionReachesCycle(body.Stmts) {
+	if rw.params.BoundedCycles && rw.regionReachesCycle(body.Stmts) {
 		return nil
 	}
 	stripSyncBlocks(body)

@@ -1,0 +1,115 @@
+package polsearch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// synthetic builds an 18-candidate space over 3 workloads with three
+// behaviour groups: fast-on-0, fast-on-1, and uniformly mediocre.
+func synthetic() ([]string, []Point) {
+	workloads := []string{"w0", "w1", "w2"}
+	var points []Point
+	for i := 0; i < 18; i++ {
+		var times []float64
+		switch i % 3 {
+		case 0:
+			times = []float64{100, 300, 200}
+		case 1:
+			times = []float64{300, 100, 200}
+		default:
+			times = []float64{220, 220, 150}
+		}
+		// Small per-candidate wobble inside the cluster epsilon.
+		for w := range times {
+			times[w] *= 1 + 0.001*float64(i)
+		}
+		points = append(points, Point{Name: fmt.Sprintf("p%02d", i), Times: times})
+	}
+	return workloads, points
+}
+
+func TestSearchPrunesToWinnersWithZeroRegret(t *testing.T) {
+	workloads, points := synthetic()
+	res, err := Search(workloads, points, Config{MaxRepresentatives: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 18 {
+		t.Fatalf("candidates = %d, want 18", res.Candidates)
+	}
+	if len(res.Representatives) > 5 {
+		t.Fatalf("representatives = %v, want <= 5", res.Representatives)
+	}
+	if res.Pruned < 12 {
+		t.Fatalf("pruned = %d, want >= 12", res.Pruned)
+	}
+	if res.Regret != 0 {
+		t.Fatalf("regret = %v, want 0 (every workload winner distinct and k large enough)", res.Regret)
+	}
+	for _, pw := range res.PerWorkload {
+		if pw.Regret != 0 {
+			t.Errorf("%s: per-workload regret %v, want 0", pw.Workload, pw.Regret)
+		}
+	}
+	// Three behaviour groups means three clusters.
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(res.Clusters))
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	workloads, points := synthetic()
+	a, err := Search(workloads, points, Config{MaxRepresentatives: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(workloads, points, Config{MaxRepresentatives: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("search not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestSearchBudgetBindsRegret(t *testing.T) {
+	// Two specialists and no generalist: with k=1 the single pick must pay
+	// regret on one workload, and the result must report it honestly.
+	workloads := []string{"w0", "w1"}
+	points := []Point{
+		{Name: "a", Times: []float64{100, 200}},
+		{Name: "b", Times: []float64{200, 100}},
+	}
+	res, err := Search(workloads, points, Config{MaxRepresentatives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Representatives) != 1 {
+		t.Fatalf("representatives = %v, want exactly 1", res.Representatives)
+	}
+	if res.Regret != 1.0 {
+		t.Fatalf("regret = %v, want 1.0 (2x on the uncovered workload)", res.Regret)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(nil, []Point{{Name: "a", Times: []float64{1}}}, Config{}); err == nil {
+		t.Error("no workloads: want error")
+	}
+	if _, err := Search([]string{"w"}, nil, Config{}); err == nil {
+		t.Error("no points: want error")
+	}
+	if _, err := Search([]string{"w"}, []Point{{Name: "a", Times: []float64{1, 2}}}, Config{}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Search([]string{"w"}, []Point{{Name: "a", Times: []float64{0}}}, Config{}); err == nil {
+		t.Error("non-positive time: want error")
+	}
+	if _, err := Search([]string{"w"}, []Point{
+		{Name: "a", Times: []float64{1}}, {Name: "a", Times: []float64{2}},
+	}, Config{}); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}

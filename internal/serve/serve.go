@@ -93,6 +93,10 @@ type Config struct {
 	// interp.EngineInterp). Default the bytecode VM. Results are
 	// byte-identical either way, so cache keys ignore it.
 	Engine string
+	// Controller selects the feedback controller implementation for native
+	// sections and OBL dynamic runs (core.KindRoundRobin, the default, or
+	// core.KindUCB).
+	Controller string
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 			TargetSampling:   cfg.TargetSampling,
 			TargetProduction: cfg.TargetProduction,
 			SpanExecutions:   true,
+			Controller:       cfg.Controller,
 			Store:            cfg.Store,
 			WarmStart:        cfg.Store != nil && !cfg.ColdStart,
 		}, w.variants...)
@@ -696,6 +701,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		Params:           params,
 		Perturb:          sched,
 		Engine:           s.cfg.Engine,
+		Controller:       s.cfg.Controller,
 	}
 	if policy == "serial" {
 		prog = c.Serial

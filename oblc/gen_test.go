@@ -1,0 +1,98 @@
+package oblc
+
+import (
+	"testing"
+
+	"repro/internal/obl/polgen"
+)
+
+func TestCompileWithSpecsRegistersEveryVersion(t *testing.T) {
+	specs := polgen.Space()
+	if len(specs) < 12 {
+		t.Fatalf("generated space = %d specs, want >= 12", len(specs))
+	}
+	c, err := CompileWithSpecs(bhLike, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.GenPolicies) != len(specs) {
+		t.Fatalf("GenPolicies = %d, want %d", len(c.GenPolicies), len(specs))
+	}
+	seen := map[string]bool{}
+	for _, name := range c.GenPolicies {
+		if seen[name] {
+			t.Errorf("duplicate generated policy name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, sec := range c.Parallel.Sections {
+		for _, spec := range specs {
+			vi, ok := sec.PolicyVersion[spec.Name()]
+			if !ok {
+				t.Fatalf("section %s: no version for generated policy %s", sec.Name, spec.Name())
+			}
+			v := sec.Versions[vi]
+			wantChunk := spec.Chunk
+			if wantChunk <= 1 {
+				wantChunk = 0
+			}
+			if v.Chunk != wantChunk {
+				t.Errorf("section %s %s: chunk = %d, want %d", sec.Name, spec.Name(), v.Chunk, wantChunk)
+			}
+		}
+		// The paper's policies keep their versions untouched.
+		for _, p := range Policies() {
+			vi, ok := sec.PolicyVersion[p]
+			if !ok {
+				t.Fatalf("section %s: paper policy %s lost its version", sec.Name, p)
+			}
+			if sec.Versions[vi].Chunk != 0 {
+				t.Errorf("section %s %s: paper policy got chunk %d", sec.Name, p, sec.Versions[vi].Chunk)
+			}
+		}
+	}
+}
+
+func TestCompileWithSpecsDedupKeepsSchedulesDistinct(t *testing.T) {
+	// Two specs identical except for chunk generate the same body code;
+	// dedup must keep them as distinct versions (different run-time
+	// schedules), while specs with the same code AND chunk share one.
+	specs := []polgen.Spec{
+		{Coarsen: 0, Lift: true, Chunk: 1},
+		{Coarsen: 0, Lift: true, Chunk: 4},
+	}
+	c, err := CompileWithSpecs(bhLike, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := c.Parallel.Sections[0]
+	a := sec.PolicyVersion[specs[0].Name()]
+	b := sec.PolicyVersion[specs[1].Name()]
+	if a == b {
+		t.Fatalf("chunked and unchunked schedules merged into version %d", a)
+	}
+	if sec.Versions[a].FuncID != sec.Versions[b].FuncID {
+		t.Errorf("same sync params produced different bodies: func %d vs %d",
+			sec.Versions[a].FuncID, sec.Versions[b].FuncID)
+	}
+	// The unchunked generated spec coalesces+lifts exactly like Aggressive,
+	// so dedup must have merged it with the paper version.
+	if agg := sec.PolicyVersion["aggressive"]; agg != a {
+		t.Errorf("g-cu-l1-k1 (version %d) did not merge with aggressive (version %d)", a, agg)
+	}
+}
+
+func TestCompileWithoutSpecsUnchanged(t *testing.T) {
+	plain, err := Compile(bhLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.GenPolicies) != 0 {
+		t.Errorf("Compile registered generated policies: %v", plain.GenPolicies)
+	}
+	for _, sec := range plain.Parallel.Sections {
+		if len(sec.Versions) != 3 {
+			t.Errorf("section %s: versions = %d, want 3", sec.Name, len(sec.Versions))
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obl/ir"
 	"repro/internal/obl/lower"
 	"repro/internal/obl/parser"
+	"repro/internal/obl/polgen"
 	"repro/internal/obl/sema"
 	"repro/internal/obl/syncopt"
 )
@@ -46,8 +47,12 @@ type Compiled struct {
 	// Reports are the commutativity analysis results per candidate loop.
 	Reports []commute.LoopReport
 	// PolicyPrograms holds the per-policy transformed ASTs (for
-	// inspection and the oblc tool's Figure 1 → Figure 2 dumps).
+	// inspection and the oblc tool's Figure 1 → Figure 2 dumps),
+	// including generated policies keyed by their canonical descriptor.
 	PolicyPrograms map[syncopt.Policy]*ast.Program
+	// GenPolicies lists the generated policy names registered beyond the
+	// paper's three (CompileWithSpecs), in spec order.
+	GenPolicies []string
 }
 
 // Policies lists the synchronization policy names in paper order; these
@@ -62,6 +67,17 @@ func Policies() []string {
 
 // Compile runs the full pipeline on OBL source text.
 func Compile(src string) (*Compiled, error) {
+	return CompileWithSpecs(src, nil)
+}
+
+// CompileWithSpecs runs the full pipeline and additionally registers one
+// generated policy version per polgen spec: each spec's synchronization
+// transformation is applied to its own program clone, lowered into the
+// multi-version program under the spec's canonical name, and its section
+// versions carry the spec's scheduling chunk. Generated versions
+// participate in deduplication exactly like the paper's policies, so specs
+// whose code and schedule coincide share one version.
+func CompileWithSpecs(src string, specs []polgen.Spec) (*Compiled, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("oblc: parse: %w", err)
@@ -97,9 +113,50 @@ func Compile(src string) (*Compiled, error) {
 		}
 		out.PolicyPrograms[policy] = clone
 	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("oblc: %w", err)
+		}
+		name := spec.Name()
+		if _, dup := out.PolicyPrograms[syncopt.Policy(name)]; dup {
+			return nil, fmt.Errorf("oblc: duplicate policy %q", name)
+		}
+		clone := cloneProgram(prog)
+		cinfo, err := sema.Check(clone)
+		if err != nil {
+			return nil, fmt.Errorf("oblc: recheck clone (%s): %w", name, err)
+		}
+		ccg := callgraph.Build(cinfo)
+		if err := syncopt.ApplyParams(clone, cinfo, ccg, spec.SyncParams()); err != nil {
+			return nil, fmt.Errorf("oblc: %s: %w", name, err)
+		}
+		cinfo, err = sema.Check(clone)
+		if err != nil {
+			return nil, fmt.Errorf("oblc: check transformed (%s): %w", name, err)
+		}
+		if err := pb.AddPolicy(cinfo, name); err != nil {
+			return nil, fmt.Errorf("oblc: lower (%s): %w", name, err)
+		}
+		out.PolicyPrograms[syncopt.Policy(name)] = clone
+		out.GenPolicies = append(out.GenPolicies, name)
+	}
 	parallel, err := pb.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("oblc: %w", err)
+	}
+	// Scheduling granularity is per generated version, set before dedup so
+	// versions differing only in chunk stay distinct.
+	for _, spec := range specs {
+		chunk := spec.Chunk
+		if chunk <= 1 {
+			continue // the default dynamic schedule, same as the paper policies
+		}
+		name := spec.Name()
+		for _, sec := range parallel.Sections {
+			if vi, ok := sec.PolicyVersion[name]; ok {
+				sec.Versions[vi].Chunk = chunk
+			}
+		}
 	}
 	lower.Dedup(parallel)
 	if err := parallel.Verify(); err != nil {
