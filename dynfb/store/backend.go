@@ -145,11 +145,18 @@ func (w *watchers) add(fn func(VersionedRecord)) (cancel func()) {
 
 func (w *watchers) notify(rec VersionedRecord) {
 	w.mu.Lock()
-	fns := make([]func(VersionedRecord), 0, len(w.subs))
-	for _, fn := range w.subs {
-		fns = append(fns, fn)
+	ids := make([]int, 0, len(w.subs))
+	for id := range w.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(VersionedRecord), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, w.subs[id])
 	}
 	w.mu.Unlock()
+	// Subscription order, so multi-watcher interleavings replay the same
+	// way every run.
 	for _, fn := range fns {
 		fn(rec)
 	}

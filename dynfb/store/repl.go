@@ -407,11 +407,16 @@ func (r *ReplStore) pushPending(ctx context.Context) {
 		r.mu.Unlock()
 		return
 	}
-	batch := make([]VersionedRecord, 0, len(r.pending))
 	keys := make([]Key, 0, len(r.pending))
-	for k, vr := range r.pending {
-		batch = append(batch, vr)
+	for k := range r.pending {
 		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	// Key order, so the hub assigns sequence numbers to a flush's records
+	// deterministically regardless of map iteration.
+	batch := make([]VersionedRecord, 0, len(keys))
+	for _, k := range keys {
+		batch = append(batch, r.pending[k])
 	}
 	r.mu.Unlock()
 

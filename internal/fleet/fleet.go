@@ -197,8 +197,8 @@ func Drive(ctx context.Context, baseURL string, cfg LoadConfig) LoadReport {
 		wg      sync.WaitGroup
 		done    atomic.Bool
 		slots   = make(chan struct{}, cfg.Concurrency)
-		tick    = time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS))
-		started = time.Now()
+		tick    = time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS)) //dfvet:allow walltime paces the live request load at the configured QPS
+		started = time.Now()                                                    //dfvet:allow walltime wall-clock start of the load run for the report
 	)
 	defer tick.Stop()
 	for !done.Load() {
@@ -231,7 +231,7 @@ func Drive(ctx context.Context, baseURL string, cfg LoadConfig) LoadReport {
 		}
 	}
 	wg.Wait()
-	report.Elapsed = time.Since(started)
+	report.Elapsed = time.Since(started) //dfvet:allow walltime wall-clock elapsed of the load run for the report
 	return report
 }
 
@@ -370,7 +370,7 @@ func WaitFor(ctx context.Context, timeout, interval time.Duration, fn func() boo
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(interval):
+		case <-time.After(interval): //dfvet:allow walltime real-time retry backoff between hub sync attempts
 		}
 	}
 }

@@ -13,6 +13,8 @@ const stepBudget = 4096
 // execSome interprets instructions of the top frame until a yield point.
 // It returns again=true when the Step loop should continue (frames
 // emptied while in a section, or after a non-yielding transition).
+//
+//dfvet:noalloc
 func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 	rt := t.rt
 	for t.executed < stepBudget {
@@ -67,7 +69,7 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 				continue
 			}
 			if rt.race != nil {
-				t.held = append(t.held, lock)
+				t.held = append(t.held, lock) //dfvet:allow noalloc race-detection mode only; detection is documented to allocate tracking state
 			}
 			if !p.Acquire(lock) {
 				// Blocked; the lock is granted on wake and execution
@@ -181,7 +183,7 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			fn := rt.prep.extFns[in.Imm]
 			args := t.extArgs[:0]
 			for _, r := range in.Args {
-				args = append(args, regs[r])
+				args = append(args, regs[r]) //dfvet:allow noalloc amortized: reuses the t.extArgs backing array at steady state
 			}
 			t.extArgs = args[:0]
 			v, extra := fn(args)
@@ -209,24 +211,24 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			}
 		case ir.OpNew:
 			cls := rt.prog.Classes[in.Imm]
-			fields := make([]Value, len(cls.Fields))
+			fields := make([]Value, len(cls.Fields)) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 			for i, k := range cls.FieldKinds {
 				fields[i] = zeroOf(k)
 			}
-			regs[in.Dst] = RefVal(&Object{Class: cls, Fields: fields})
+			regs[in.Dst] = RefVal(&Object{Class: cls, Fields: fields}) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 		case ir.OpNewArr:
 			n := regs[in.A].I
 			if n < 0 {
 				rt.fail("%s: negative array length %d", fr.fn.Name, n)
 			}
 			t.acc += simmach.Time(n) * ir.CostPerElem
-			elems := make([]Value, n)
+			elems := make([]Value, n) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 			if z := zeroOf(ir.ElemKind(in.Imm)); z.Kind != KindNil {
 				for i := range elems {
 					elems[i] = z
 				}
 			}
-			regs[in.Dst] = RefVal(&Object{Elems: elems})
+			regs[in.Dst] = RefVal(&Object{Elems: elems}) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 		case ir.OpLoadField:
 			obj := t.ref(fr, in.A)
 			if rt.race != nil && t.sr != nil {
@@ -263,7 +265,7 @@ func (t *task) execSome(p *simmach.Proc) (simmach.Status, bool) {
 			obj := t.ref(fr, in.A)
 			regs[in.Dst] = IntVal(int64(len(obj.Elems)))
 		case ir.OpPrint:
-			rt.output = append(rt.output, regs[in.A].String())
+			rt.output = append(rt.output, regs[in.A].String()) //dfvet:allow noalloc program output accumulation, once per print statement
 		default:
 			rt.fail("%s: bad opcode %v", fr.fn.Name, in.Op)
 		}

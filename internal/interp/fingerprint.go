@@ -179,6 +179,9 @@ func sortedFPKeys[V any](m map[string]V) []string {
 // perturbation" is spelled). Runs that install a Trace callback are not
 // cacheable (the trace is a side effect a cached result cannot replay);
 // for those ok is false.
+//
+//dfvet:fingerprint Options simmach.Config
+//dfvet:fingerprint-exclude Options.Engine — both engines produce byte-identical Results by contract, so the engine choice never affects a cached outcome
 func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	if opts.Trace != nil {
 		return "", false
@@ -200,7 +203,10 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	// retires v1 entries, whose cached results predate SectionStats.Switches.
 	// v3: adds the controller kind (normalized, so "" and "roundrobin"
 	// share entries) and retires v2 entries predating Version.Chunk.
-	w.str("obl-run-v3")
+	// v4: adds DetectRaces, which v3 omitted — a race-detecting run and a
+	// plain run shared an address even though only one carries Result.Races
+	// (found by the dfvet fingerprint analyzer).
+	w.str("obl-run-v4")
 	w.str(Fingerprint(p))
 	w.i64(int64(opts.Procs))
 	w.str(opts.Policy)
@@ -212,6 +218,7 @@ func CacheKey(p *ir.Program, opts Options) (key string, ok bool) {
 	w.boolean(opts.SpanExecutions)
 	w.boolean(opts.AutoTuneProduction)
 	w.boolean(opts.AsyncSwitch)
+	w.boolean(opts.DetectRaces)
 	for _, name := range sortedFPKeys(opts.Params) {
 		w.str(name)
 		w.i64(opts.Params[name])

@@ -50,6 +50,13 @@ type SampleSpec struct {
 	MinSectionIters int64 `json:"min_section_iters"`
 }
 
+// withDefaults is the canonical consumer of a sampling spec: every
+// SampleSpec field is defaulted and validated here before the sampler sees
+// it. Sampled runs are never cached (CacheKey refuses them), so this —
+// not a cache-key encoder — is where a new field must be wired in, and
+// the fingerprint analyzer holds the struct to it.
+//
+//dfvet:fingerprint SampleSpec
 func (s *SampleSpec) withDefaults() SampleSpec {
 	out := *s
 	if out.WindowIters <= 0 {

@@ -16,6 +16,8 @@ import (
 // when the remaining budget cannot admit the whole group), sync
 // instructions yield first whenever prior work exists in the dispatch,
 // and tail-call collapse replays the folded returns one charge at a time.
+//
+//dfvet:noalloc
 func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 	rt := t.rt
 	race := rt.race != nil && t.sr != nil
@@ -129,7 +131,7 @@ func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 				continue
 			}
 			if rt.race != nil {
-				t.held = append(t.held, lock)
+				t.held = append(t.held, lock) //dfvet:allow noalloc race-detection mode only; detection is documented to allocate tracking state
 			}
 			if !p.Acquire(lock) {
 				if t.prof != nil {
@@ -270,9 +272,9 @@ func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 			// Read argument sources before clearing anything: they may
 			// live in the local region or in the parameter slots.
 			if cap(t.scrI) < len(in.Args) {
-				t.scrI = make([]int64, len(in.Args))
-				t.scrF = make([]float64, len(in.Args))
-				t.scrR = make([]*Object, len(in.Args))
+				t.scrI = make([]int64, len(in.Args))   //dfvet:allow noalloc grows the reusable scratch buffers once to peak call arity
+				t.scrF = make([]float64, len(in.Args)) //dfvet:allow noalloc grows the reusable scratch buffers once to peak call arity
+				t.scrR = make([]*Object, len(in.Args)) //dfvet:allow noalloc grows the reusable scratch buffers once to peak call arity
 			}
 			for i, mv := range in.Args {
 				switch mv.Bank {
@@ -307,11 +309,11 @@ func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 			for _, mv := range in.Args {
 				switch mv.Bank {
 				case vm.BankFloat:
-					args = append(args, Value{Kind: KindFloat, F: floats[mv.Src]})
+					args = append(args, Value{Kind: KindFloat, F: floats[mv.Src]}) //dfvet:allow noalloc amortized: reuses the t.extArgs backing array at steady state
 				case vm.BankRef:
-					args = append(args, Value{Kind: KindRef, Ref: refs[mv.Src]})
+					args = append(args, Value{Kind: KindRef, Ref: refs[mv.Src]}) //dfvet:allow noalloc amortized: reuses the t.extArgs backing array at steady state
 				default:
-					args = append(args, Value{Kind: KindInt, I: ints[mv.Src]})
+					args = append(args, Value{Kind: KindInt, I: ints[mv.Src]}) //dfvet:allow noalloc amortized: reuses the t.extArgs backing array at steady state
 				}
 			}
 			t.extArgs = args[:0]
@@ -385,24 +387,24 @@ func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 
 		case vm.OpNew:
 			cls := rt.prog.Classes[in.Imm]
-			fields := make([]Value, len(cls.Fields))
+			fields := make([]Value, len(cls.Fields)) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 			for i, k := range cls.FieldKinds {
 				fields[i] = zeroOf(k)
 			}
-			refs[in.Dst] = &Object{Class: cls, Fields: fields}
+			refs[in.Dst] = &Object{Class: cls, Fields: fields} //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 		case vm.OpNewArr:
 			n := ints[in.A]
 			if n < 0 {
 				rt.fail("%s: negative array length %d", t.fname(in), n)
 			}
 			acc += simmach.Time(n) * ir.CostPerElem
-			elems := make([]Value, n)
+			elems := make([]Value, n) //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 			if z := zeroOf(ir.ElemKind(in.Imm)); z.Kind != KindNil {
 				for i := range elems {
 					elems[i] = z
 				}
 			}
-			refs[in.Dst] = &Object{Elems: elems}
+			refs[in.Dst] = &Object{Elems: elems} //dfvet:allow noalloc the simulated program's own new: an OBL allocation must allocate
 
 		case vm.OpLoadFieldI:
 			obj := t.vref(in, refs)
@@ -487,20 +489,20 @@ func (t *vmTask) exec(p *simmach.Proc) (simmach.Status, bool) {
 			ints[in.Dst] = int64(len(obj.Elems))
 
 		case vm.OpPrintI:
-			rt.output = append(rt.output, strconv.FormatInt(ints[in.A], 10))
+			rt.output = append(rt.output, strconv.FormatInt(ints[in.A], 10)) //dfvet:allow noalloc program output accumulation, once per print statement
 		case vm.OpPrintB:
-			rt.output = append(rt.output, strconv.FormatBool(ints[in.A] != 0))
+			rt.output = append(rt.output, strconv.FormatBool(ints[in.A] != 0)) //dfvet:allow noalloc program output accumulation, once per print statement
 		case vm.OpPrintF:
-			rt.output = append(rt.output, strconv.FormatFloat(floats[in.A], 'g', -1, 64))
+			rt.output = append(rt.output, strconv.FormatFloat(floats[in.A], 'g', -1, 64)) //dfvet:allow noalloc program output accumulation, once per print statement
 		case vm.OpPrintR:
 			r := refs[in.A]
 			switch {
 			case r == nil:
-				rt.output = append(rt.output, "nil")
+				rt.output = append(rt.output, "nil") //dfvet:allow noalloc program output accumulation, once per print statement
 			case r.Class != nil:
-				rt.output = append(rt.output, fmt.Sprintf("%s@%p", r.Class.Name, r))
+				rt.output = append(rt.output, fmt.Sprintf("%s@%p", r.Class.Name, r)) //dfvet:allow noalloc program output accumulation, once per print statement
 			default:
-				rt.output = append(rt.output, fmt.Sprintf("array[%d]", len(r.Elems)))
+				rt.output = append(rt.output, fmt.Sprintf("array[%d]", len(r.Elems))) //dfvet:allow noalloc program output accumulation, once per print statement
 			}
 
 		case vm.OpFlagSkip:

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //dfvet: annotation grammar (docs/analysis.md has the full
+// reference):
+//
+//	//dfvet:allow <analyzer> <reason>
+//	    Suppresses <analyzer> findings on the annotated line. Valid on the
+//	    flagged line itself or on the line directly above it. The reason is
+//	    required; a bare allow suppresses nothing.
+//
+//	//dfvet:noalloc
+//	    On a function's doc comment: the function body must not allocate
+//	    (checked statically by the noalloc analyzer and mirrored at runtime
+//	    by the allocs-per-op gates).
+//
+//	//dfvet:fingerprint <Type> [<Type>...]
+//	    On a function's doc comment: the function is the canonical
+//	    fingerprint/cache-key encoder for the named struct types. Types are
+//	    resolved in the annotated package's scope; qualified names
+//	    (pkg.Type) reach imported packages.
+//
+//	//dfvet:fingerprint-exclude <Type>.<Field> — <reason>
+//	    On an encoder's doc comment: the named field is intentionally not
+//	    part of the fingerprint.
+//
+//	//dfvet:fingerprint-exclude <reason>
+//	    On a struct field's line (same package as the struct): equivalent
+//	    field-level form.
+
+// A Directive is one parsed //dfvet: annotation.
+type Directive struct {
+	Pos  token.Position
+	Verb string   // "allow", "noalloc", "fingerprint", "fingerprint-exclude"
+	Args []string // whitespace-split remainder
+}
+
+const directivePrefix = "//dfvet:"
+
+// ParseDirective parses one comment line; ok is false for ordinary
+// comments.
+func ParseDirective(text string) (verb string, args []string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", nil, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+	if len(fields) == 0 {
+		return "", nil, false
+	}
+	return fields[0], fields[1:], true
+}
+
+// Directives extracts the //dfvet: annotations from a doc comment group.
+func Directives(fset *token.FileSet, doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var ds []Directive
+	for _, c := range doc.List {
+		if verb, args, ok := ParseDirective(c.Text); ok {
+			ds = append(ds, Directive{Pos: fset.Position(c.Pos()), Verb: verb, Args: args})
+		}
+	}
+	return ds
+}
+
+// Annotations indexes every //dfvet: directive of a package by file and
+// line, so suppression checks and field-level annotations are O(1).
+type Annotations struct {
+	byLine map[string]map[int][]Directive
+}
+
+// CollectAnnotations scans all comments of the files (parsed with
+// parser.ParseComments) for //dfvet: directives.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{byLine: map[string]map[int][]Directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := a.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]Directive{}
+					a.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], Directive{Pos: pos, Verb: verb, Args: args})
+			}
+		}
+	}
+	return a
+}
+
+// At returns the directives on one source line.
+func (a *Annotations) At(file string, line int) []Directive {
+	return a.byLine[file][line]
+}
+
+// Allowed reports whether a finding by the named analyzer at pos is
+// suppressed by an "allow" directive with a reason, on the finding's line
+// or the line directly above.
+func (a *Annotations) Allowed(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range a.At(pos.Filename, line) {
+			if d.Verb == "allow" && len(d.Args) >= 2 && d.Args[0] == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

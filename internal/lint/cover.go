@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// NoallocFuncs parses the non-test Go sources of the package in dir and
+// returns the receiver-qualified name (Type.Method, or the bare name for
+// plain functions) of every function annotated //dfvet:noalloc, sorted.
+//
+// This is the bridge between the static and dynamic allocation gates: a
+// package with annotated hot paths keeps a coverage test that asserts
+// NoallocFuncs against the exact set its steady-state allocs/op test
+// exercises, so adding or removing an annotation without updating the
+// runtime gate (or vice versa) fails the build instead of silently
+// letting the two drift apart.
+func NoallocFuncs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, d := range Directives(fset, fn.Doc) {
+				if d.Verb == "noalloc" {
+					names = append(names, funcDisplayName(fn))
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// funcDisplayName renders Type.Method for methods (stripping the
+// receiver's pointer star) and the bare name for functions.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,182 @@
+// Package detorder reports map iterations that feed order-sensitive sinks.
+//
+// Go's map iteration order is deliberately randomized, but large parts of
+// this repo promise deterministic output: canonical fingerprints, golden
+// files, rendered reports, replicated policy stores. A `for k := range m`
+// whose body prints, writes, encodes, or accumulates into an outer slice
+// that is never sorted afterwards makes that output depend on iteration
+// order. The fix is to sort the keys first (or sort the accumulated slice
+// after the loop); a deliberate unordered use is annotated
+// //dfvet:allow detorder <reason>.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration feeds an order-sensitive sink (output, encoding, or an unsorted accumulator)",
+	Run:  run,
+}
+
+// Order-sensitive callee names. Package functions are matched as
+// pkg.Name (fmt.Println); methods by bare name on any receiver
+// (w.WriteString, enc.Encode, h.Write).
+var sinkFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// isSortCall reports calls that launder iteration order: anything from
+// package sort or slices, or a helper whose own name says it sorts
+// (sortKeys, SortDiags, ...). A call to one of these with the accumulator
+// among its arguments, after the range loop, clears the finding.
+func isSortCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	name := calleeName(pass, call)
+	if strings.HasPrefix(name, "sort.") || strings.HasPrefix(name, "slices.Sort") {
+		return true
+	}
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkBody(pass, fn.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+// checkBody scans one function body (including nested literals) for map
+// range statements and validates each.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *lint.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Direct sinks inside the body: anything written out during the loop
+	// is emitted in iteration order.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(pass, call)
+		if sinkFuncs[name] || sinkMethods[name] {
+			pass.Reportf(rng.Pos(),
+				"iteration over map feeds %s in nondeterministic order; iterate sorted keys or annotate //dfvet:allow detorder", name)
+			return false
+		}
+		return true
+	})
+
+	// Accumulators: v = append(v, ...) onto a variable declared outside
+	// the loop, with no later sort of v in the enclosing body.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || calleeName(pass, call) != "append" {
+			return true
+		}
+		ident, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(ident)
+		if obj == nil || obj.Pos() >= rng.Pos() {
+			return true // loop-local accumulator: its order never escapes the iteration
+		}
+		if sortedAfter(pass, enclosing, rng, obj) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"iteration over map appends to %s in nondeterministic order and %s is never sorted afterwards; sort it or annotate //dfvet:allow detorder", ident.Name, ident.Name)
+		return false
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the range
+// statement inside the enclosing body.
+func sortedAfter(pass *lint.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// calleeName renders a call's callee as "pkg.Func" for package functions,
+// the bare method name for method calls, and the builtin name for
+// builtins; "" when unresolvable.
+func calleeName(pass *lint.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(fun); obj != nil {
+			if _, ok := obj.(*types.Builtin); ok {
+				return fun.Name
+			}
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName); ok {
+				return pkg.Imported().Name() + "." + fun.Sel.Name
+			}
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detorder"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetorder(t *testing.T) {
+	linttest.Run(t, detorder.Analyzer, "testdata/src/detorder")
+}

@@ -1,0 +1,74 @@
+// The detorder corpus: seeded map-order regressions (the mutants the
+// analyzer must catch), legal sorted patterns, and annotated suppression.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Seeded regression: printing during map iteration.
+func printAll(m map[string]int) {
+	for k, v := range m { // want `feeds fmt.Println in nondeterministic order`
+		fmt.Println(k, v)
+	}
+}
+
+// Seeded regression: accumulating keys without a sort.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys in nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Legal: the canonical sorted-keys idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Legal: sorted through a helper whose name says it sorts.
+func helperSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// Legal: a pure order-insensitive fold.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Legal: loop-local accumulator; its order never escapes the iteration.
+func localAccum(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Suppressed: deliberate unordered dump, justified.
+func debugDump(m map[string]int) {
+	//dfvet:allow detorder debug dump; consumer is a human, order irrelevant
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

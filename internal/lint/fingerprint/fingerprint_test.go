@@ -1,0 +1,12 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/fingerprint"
+	"repro/internal/lint/linttest"
+)
+
+func TestFingerprint(t *testing.T) {
+	linttest.Run(t, fingerprint.Analyzer, "testdata/src/fingerprint")
+}

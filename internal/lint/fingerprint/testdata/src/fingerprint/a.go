@@ -1,0 +1,71 @@
+// The fingerprint corpus: an Options-style struct with a canonical
+// encoder, a seeded unfingerprinted-field mutant, doc-level and
+// field-level exclusions, a defaulting canonicalizer that must NOT count
+// as consumption, and a stale exclusion.
+package fingerprint
+
+import "fmt"
+
+type Options struct {
+	Procs  int
+	Policy string
+	// Debug is the seeded mutant: it changes behavior but the encoder
+	// below forgets it, and no exclusion covers it.
+	Debug bool
+	// Trace is excluded at the encoder (doc-level form).
+	Trace func()
+	// Label is excluded at the field (field-level form).
+	//dfvet:fingerprint-exclude cosmetic label; never affects a run
+	Label string
+	// Retries is only touched by withDefaults; defaulting is not
+	// encoding, so the encoder must still be flagged for it.
+	Retries int
+}
+
+// withDefaults is a canonicalizer of the target type: the analyzer must
+// not treat the fields it touches as consumed by Key.
+func (o Options) withDefaults() Options {
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Debug {
+		o.Label = "debug"
+	}
+	return o
+}
+
+// Key is the canonical encoder of Options.
+//
+//dfvet:fingerprint Options
+//dfvet:fingerprint-exclude Options.Trace — side-effect callback; traced runs are never cached
+func Key(o Options) string { // want `field Options.Debug is not consumed by fingerprint encoder Key` `field Options.Retries is not consumed by fingerprint encoder Key`
+	o = o.withDefaults()
+	return fmt.Sprintf("%d|%s", o.Procs, o.Policy)
+}
+
+type Spec struct {
+	Window int
+	Gap    int
+}
+
+// SpecKey consumes every Spec field, including Gap through the helper, so
+// the doc-level exclusion of Spec.Gap is stale and must be reported.
+//
+//dfvet:fingerprint Spec
+//dfvet:fingerprint-exclude Spec.Gap — stale: the helper encodes it
+func SpecKey(s Spec) string { // want `stale exclusion: field Spec.Gap is consumed by SpecKey`
+	return fmt.Sprintf("%d|%s", s.Window, gapPart(s))
+}
+
+// gapPart is a plain helper (not a Spec method), so its field reads count
+// as consumption by SpecKey.
+func gapPart(s Spec) string {
+	return fmt.Sprint(s.Gap)
+}
+
+// badTarget names a type that does not exist.
+//
+//dfvet:fingerprint NoSuchType
+func badTarget() string { // want `type NoSuchType not found`
+	return ""
+}

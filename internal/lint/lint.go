@@ -1,0 +1,127 @@
+// Package lint is the dfvet analysis framework: a small, self-contained
+// mirror of the golang.org/x/tools/go/analysis API built on the standard
+// library only. Packages are loaded from compiler export data (go list
+// -export), so analyzers get full type information without any external
+// module. The framework adds the repo's //dfvet: annotation grammar
+// (annot.go) and text/JSON/SARIF renderers (render.go, sarif.go); the
+// project-specific analyzers live in the subpackages detorder, walltime,
+// noalloc, and fingerprint, and cmd/dfvet drives them all.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named check. Run inspects a single package through its
+// Pass and reports findings via pass.Report; the framework handles
+// suppression, ordering, and rendering.
+type Analyzer struct {
+	// Name identifies the analyzer in output, SARIF rules, and
+	// //dfvet:allow annotations. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description (first sentence is the SARIF rule
+	// short description).
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer    *Analyzer
+	Fset        *token.FileSet
+	Files       []*ast.File
+	Pkg         *types.Package
+	TypesInfo   *types.Info
+	Annotations *Annotations
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// A Diagnostic is one finding inside a package, positioned by token.Pos.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a rendered diagnostic: analyzer identity plus resolved
+// position, ready for output. Findings are what Run returns and what the
+// renderers consume.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. A finding is suppressed when the flagged
+// line (or the line directly above it) carries a matching
+// "//dfvet:allow <analyzer> <reason>" annotation.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				Annotations: pkg.Annotations,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if pkg.Annotations.Allowed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,144 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		verb string
+		args []string
+		ok   bool
+	}{
+		{"//dfvet:allow walltime test seed", "allow", []string{"walltime", "test", "seed"}, true},
+		{"//dfvet:noalloc", "noalloc", nil, true},
+		{"//dfvet:fingerprint Options simmach.Config", "fingerprint", []string{"Options", "simmach.Config"}, true},
+		{"// dfvet:allow walltime x", "", nil, false}, // space breaks the directive, like go:build
+		{"// ordinary comment", "", nil, false},
+		{"//dfvet:", "", nil, false},
+	}
+	for _, c := range cases {
+		verb, args, ok := lint.ParseDirective(c.text)
+		if ok != c.ok || verb != c.verb || strings.Join(args, " ") != strings.Join(c.args, " ") {
+			t.Errorf("ParseDirective(%q) = %q %v %v, want %q %v %v", c.text, verb, args, ok, c.verb, c.args, c.ok)
+		}
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	src := `package p
+
+func f() {
+	//dfvet:allow walltime
+	_ = 1
+	//dfvet:allow walltime justified because reasons
+	_ = 2
+	_ = 3 //dfvet:allow walltime same-line form works too
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := lint.CollectAnnotations(fset, []*ast.File{f})
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if ann.Allowed("walltime", at(5)) {
+		t.Error("bare allow without a reason suppressed a finding")
+	}
+	if !ann.Allowed("walltime", at(7)) {
+		t.Error("allow with a reason on the line above did not suppress")
+	}
+	if !ann.Allowed("walltime", at(8)) {
+		t.Error("same-line allow did not suppress")
+	}
+	if ann.Allowed("detorder", at(7)) {
+		t.Error("allow for walltime suppressed a detorder finding")
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	findings := []lint.Finding{{
+		Analyzer: "walltime",
+		File:     "/repo/internal/simmach/simmach.go",
+		Line:     10,
+		Column:   3,
+		Message:  "time.Now in package simmach",
+	}}
+	analyzers := []*lint.Analyzer{
+		{Name: "walltime", Doc: "wall-clock check"},
+		{Name: "detorder", Doc: "map order check"},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, findings, analyzers, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dfvet" || len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("driver = %q with %d rules, want dfvet with 2", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	res := run.Results[0]
+	if res.RuleID != "walltime" {
+		t.Errorf("ruleId = %q", res.RuleID)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/simmach/simmach.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location = %q:%d, want repo-relative internal/simmach/simmach.go:10", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}
+
+// TestLoadTypechecks smoke-tests the export-data loader on a real package
+// of this module.
+func TestLoadTypechecks(t *testing.T) {
+	pkgs, err := lint.Load("", "repro/internal/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil || len(pkgs[0].Files) == 0 {
+		t.Fatalf("Load = %+v, want one type-checked package", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("Registry") == nil {
+		t.Error("loaded metrics package has no Registry in scope")
+	}
+}

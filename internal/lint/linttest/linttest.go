@@ -1,0 +1,229 @@
+// Package linttest is the golden-comment test harness for the dfvet
+// analyzers, mirroring go/analysis/analysistest on the stdlib only.
+//
+// A test package lives under testdata/src/<name>; every file is parsed and
+// type-checked (stdlib imports resolve through `go list -export` data),
+// the analyzer runs with //dfvet:allow suppression applied — so
+// suppression tests work exactly like production — and the findings are
+// matched against want comments:
+//
+//	for k := range m { // want `feeds fmt.Println`
+//
+// Each backquoted or double-quoted string after "// want" is a regexp;
+// the findings reported on that line must match the want patterns 1:1.
+// A line with findings but no want comment, or a want pattern with no
+// matching finding, fails the test.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run analyzes the test package in dir (e.g. "testdata/src/detorder") and
+// reports any divergence from its want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("linttest: no Go files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+
+	imp := importer.ForCompiler(fset, "gc", exportLookup(t, imports))
+	pkgPath := filepath.Base(dir)
+	pkg, info, err := lint.Check(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("linttest: typecheck %s: %v", dir, err)
+	}
+
+	findings, err := lint.Run([]*lint.Package{{
+		Path:        pkgPath,
+		Fset:        fset,
+		Files:       files,
+		Types:       pkg,
+		TypesInfo:   info,
+		Annotations: lint.CollectAnnotations(fset, files),
+	}}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	check(t, fset, files, findings)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// check matches findings against want comments line by line.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []lint.Finding) {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	got := map[lineKey][]lint.Finding{}
+	for _, f := range findings {
+		k := lineKey{f.File, f.Line}
+		got[k] = append(got[k], f)
+	}
+
+	for k, res := range wants {
+		fs := got[k]
+		if len(fs) != len(res) {
+			t.Errorf("%s:%d: %d findings, want %d:%s", k.file, k.line, len(fs), len(res), renderAll(fs))
+			continue
+		}
+		for _, re := range res {
+			matched := false
+			for _, f := range fs {
+				if re.MatchString(f.Message) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no finding matches want %q:%s", k.file, k.line, re, renderAll(fs))
+			}
+		}
+	}
+	for k, fs := range got {
+		if _, ok := wants[k]; !ok {
+			t.Errorf("%s:%d: unexpected findings:%s", k.file, k.line, renderAll(fs))
+		}
+	}
+}
+
+func renderAll(fs []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "\n\t%s", f)
+	}
+	return b.String()
+}
+
+// Export-data lookup for testdata imports (stdlib only). Resolved paths
+// are cached process-wide; `go list` runs once per distinct import set
+// miss.
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+func exportLookup(t *testing.T, imports map[string]bool) func(string) (io.ReadCloser, error) {
+	t.Helper()
+	var missing []string
+	exportMu.Lock()
+	for p := range imports {
+		if _, ok := exportFiles[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		listExports(t, missing)
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportFiles[path]
+		exportMu.Unlock()
+		if !ok {
+			// A transitive dependency not listed yet: resolve it now.
+			listExports(t, []string{path})
+			exportMu.Lock()
+			file, ok = exportFiles[path]
+			exportMu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+}
+
+func listExports(t *testing.T, paths []string) {
+	t.Helper()
+	args := append([]string{"list", "-export", "-deps", "-json"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	for {
+		var lp struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("go list: %v", err)
+		}
+		if lp.Export != "" {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+	}
+}

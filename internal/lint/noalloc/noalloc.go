@@ -1,0 +1,217 @@
+// Package noalloc checks functions annotated //dfvet:noalloc for
+// allocating constructs.
+//
+// The simulated machine's steady-state hot paths (event dispatch, lock
+// handoff, barrier rendezvous) and the interpreter/VM dispatch loops are
+// required to be allocation-free: a single alloc per simulated event turns
+// into GC pressure that distorts every benchmark in the repo. The runtime
+// side of this contract is the allocs-per-op gates
+// (TestSteadyStateAllocsPerEvent and friends); this analyzer is the static
+// side, so a regression is caught by `dfvet` at review time, not by a
+// benchmark run later. TestNoallocAnnotationCoverage ties the two sides
+// together: every annotated hot path must sit under a runtime gate.
+//
+// Flagged constructs: composite literals of slice/map type, &T{...},
+// new/make/append, closures, string concatenation, string<->[]byte/[]rune
+// conversions, and calls through variadic ...interface{} parameters
+// (which box their arguments). Arguments of panic(...) are exempt —
+// a terminal path's allocation cost is irrelevant. A deliberate cold-path
+// allocation (e.g. building a deadlock report before returning an error)
+// is annotated //dfvet:allow noalloc <reason> on its line.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "noalloc",
+	Doc:  "allocating construct in a function annotated //dfvet:noalloc",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	noreturn := collectNoreturn(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, d := range lint.Directives(pass.Fset, fn.Doc) {
+				if d.Verb == "noalloc" {
+					checkFunc(pass, fn, noreturn)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectNoreturn finds same-package functions that cannot return — their
+// body's last statement is a panic call (rt.fail-style terminal helpers).
+// Calls to them are terminal paths, exempt exactly like panic itself.
+func collectNoreturn(pass *lint.Pass) map[*types.Func]bool {
+	noreturn := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || len(fn.Body.List) == 0 {
+				continue
+			}
+			last, ok := fn.Body.List[len(fn.Body.List)-1].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := last.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+						noreturn[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return noreturn
+}
+
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl, noreturn map[*types.Func]bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates in //dfvet:noalloc function %s", kindName(t), fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in //dfvet:noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal allocates its closure in //dfvet:noalloc function %s", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isString(t) {
+					pass.Reportf(n.Pos(), "string concatenation allocates in //dfvet:noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, fn, n, noreturn)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// checkCall flags allocating calls; returns false to prune the walk below
+// exempt subtrees (arguments of panic and of noreturn helpers).
+func checkCall(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr, noreturn map[*types.Func]bool) bool {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins and panic.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+			switch id.Name {
+			case "panic":
+				return false // terminal path: its allocations don't count
+			case "new", "make", "append":
+				pass.Reportf(call.Pos(), "%s allocates in //dfvet:noalloc function %s", id.Name, fn.Name.Name)
+				return true
+			}
+			return true
+		}
+	}
+
+	// Calls to panicking helpers are terminal paths too.
+	if callee := calleeFunc(pass, fun); callee != nil && noreturn[callee] {
+		return false
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		to := tv.Type
+		from := pass.TypesInfo.TypeOf(call.Args[0])
+		if from != nil &&
+			(isString(to) && isByteRuneSlice(from) || isByteRuneSlice(to) && isString(from)) {
+			pass.Reportf(call.Pos(), "conversion between string and slice copies in //dfvet:noalloc function %s", fn.Name.Name)
+		}
+		return true
+	}
+
+	// Calls through variadic ...interface{} parameters box every argument
+	// (fmt.Errorf, fmt.Sprintf, ...).
+	if sig, ok := typeOfCallee(pass, fun); ok && sig.Variadic() && len(call.Args) >= sig.Params().Len() {
+		last := sig.Params().At(sig.Params().Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			if _, isIface := sl.Elem().Underlying().(*types.Interface); isIface && len(call.Args) > sig.Params().Len()-1 && !call.Ellipsis.IsValid() {
+				pass.Reportf(call.Pos(), "variadic interface call boxes its arguments in //dfvet:noalloc function %s", fn.Name.Name)
+			}
+		}
+	}
+	return true
+}
+
+// calleeFunc resolves a call's callee to its function object, through
+// either a bare identifier or a selector (method or qualified name).
+func calleeFunc(pass *lint.Pass, fun ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return f
+}
+
+func typeOfCallee(pass *lint.Pass, fun ast.Expr) (*types.Signature, bool) {
+	t := pass.TypesInfo.TypeOf(fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

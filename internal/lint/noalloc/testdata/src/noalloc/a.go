@@ -1,0 +1,51 @@
+// The noalloc corpus: an annotated hot path with every flagged construct
+// (the seeded allocating-hot-path mutants), exempt terminal paths, line
+// suppression, and an unannotated function that may allocate freely.
+package noalloc
+
+import "fmt"
+
+type item struct {
+	k string
+	v int
+}
+
+//dfvet:noalloc
+func hot(xs []int, n int) int {
+	xs = append(xs, n)           // want `append allocates`
+	buf := make([]int, n)        // want `make allocates`
+	p := new(item)               // want `new allocates`
+	it := &item{k: "x"}          // want `&composite literal allocates`
+	ys := []int{1, 2, 3}         // want `slice literal allocates`
+	m := map[string]int{}        // want `map literal allocates`
+	f := func() int { return n } // want `function literal allocates its closure`
+	s := "a" + fmt.Sprint(n)     // want `string concatenation allocates` `variadic interface call boxes its arguments`
+	b := []byte(s)               // want `conversion between string and slice copies`
+	return len(xs) + len(buf) + p.v + it.v + len(ys) + len(m) + f() + len(b)
+}
+
+//dfvet:noalloc
+func hotAllowed(xs []int, n int) []int {
+	return append(xs, n) //dfvet:allow noalloc amortized: backing array reaches steady capacity
+}
+
+//dfvet:noalloc
+func terminal(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // exempt: panic argument
+	}
+	if n > 1<<20 {
+		fail("oversized %d", n) // exempt: noreturn helper
+	}
+	return n * 2
+}
+
+// fail never returns; calls to it are terminal paths like panic itself.
+func fail(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// cold is unannotated: allocation is fine here.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,9 @@
+// A package outside both the deterministic set and the serving tier:
+// wall-clock use is unrestricted, so nothing here is flagged.
+package other
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

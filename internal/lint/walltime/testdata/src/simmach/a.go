@@ -1,0 +1,36 @@
+// The walltime corpus, posing as the deterministic package simmach (the
+// analyzer selects packages by import-path base): seeded wall-clock and
+// randomness regressions, pure time arithmetic, and annotated suppression.
+package simmach
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded regression: wall-clock stamp in a deterministic package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in package simmach`
+}
+
+// Seeded regression: measuring with the wall clock.
+func measure(f func()) time.Duration {
+	start := time.Now() // want `time.Now in package simmach`
+	f()
+	return time.Since(start) // want `time.Since in package simmach`
+}
+
+// Seeded regression: ambient randomness.
+func jitter() int {
+	return rand.Intn(100) // want `math/rand.Intn in package simmach`
+}
+
+// Legal: pure duration arithmetic, no clock read.
+func timeout(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Suppressed: a justified wall-clock read.
+func seed() int64 {
+	return time.Now().UnixNano() //dfvet:allow walltime test fixture seed; never reaches a simulation result
+}

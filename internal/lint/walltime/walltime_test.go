@@ -1,0 +1,19 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/walltime"
+)
+
+// TestWalltimeDeterministic checks the corpus posing as the deterministic
+// package simmach; TestWalltimeUnchecked checks that a package outside the
+// checked sets is ignored entirely.
+func TestWalltimeDeterministic(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer, "testdata/src/simmach")
+}
+
+func TestWalltimeUnchecked(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer, "testdata/src/other")
+}

@@ -122,6 +122,7 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		out := make([]series, 0, len(v.series))
+		//dfvet:allow detorder WriteTo sorts every family's collected series by label before rendering
 		for key, c := range v.series {
 			out = append(out, series{labels: key, value: c.Value()})
 		}

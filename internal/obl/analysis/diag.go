@@ -81,6 +81,11 @@ const (
 	// CodeNotEquivalent: a policy version is not sync-stripped-equivalent
 	// to the Original program.
 	CodeNotEquivalent = "OBL-E103"
+	// CodeLockOrder: a policy version's lock-order graph has a cycle — an
+	// acquire executed under held locks whose class ordering admits the
+	// reverse acquisition elsewhere — so some interleaving of two
+	// processors deadlocks.
+	CodeLockOrder = "OBL-E104"
 	// CodeDeadField: a class field is never referenced.
 	CodeDeadField = "OBL-W200"
 	// CodeDeadFunc: a function or method is unreachable from main.
@@ -110,6 +115,7 @@ var Codes = []CodeInfo{
 	{CodeUncoveredRead, Error, "conflicting field read not covered by the object's lock in a parallel section"},
 	{CodeLockLeak, Error, "critical region may exit without releasing its lock"},
 	{CodeNotEquivalent, Error, "policy version is not sync-stripped-equivalent to the Original"},
+	{CodeLockOrder, Error, "lock-order cycle: some interleaving of the version's acquires deadlocks"},
 	{CodeDeadField, Warning, "field is never referenced"},
 	{CodeDeadFunc, Warning, "function or method is unreachable from main"},
 	{CodeUnreachable, Warning, "unreachable statement"},

@@ -251,49 +251,11 @@ func (c *coverageChecker) checkBody(body *ast.Block, entry []string, loopVar str
 	g := BuildCFG(body)
 	fresh := freshLocals(body)
 
-	ent := lockFact{held: map[string]bool{}, mVars: map[string]map[string]bool{}}
 	entryHeld := map[string]bool{}
 	for _, name := range entry {
-		ent.held[name] = true
-		ent.mVars[name] = map[string]bool{name: true}
 		entryHeld[name] = true
 	}
-
-	tf := func(n *Node, in lockFact) lockFact {
-		if in.univ {
-			return in
-		}
-		out := in.clone()
-		switch n.Kind {
-		case NodeAcquire:
-			if c.active(n.Sync) {
-				canon := ast.ExprString(n.Sync.Lock)
-				out.held[canon] = true
-				out.mVars[canon] = exprVars(n.Sync.Lock)
-			}
-		case NodeRelease:
-			if c.active(n.Sync) {
-				canon := ast.ExprString(n.Sync.Lock)
-				delete(out.held, canon)
-				delete(out.mVars, canon)
-			}
-		case NodeStmt:
-			switch s := n.Stmt.(type) {
-			case *ast.AssignStmt:
-				if id, ok := s.LHS.(*ast.Ident); ok {
-					out.kill(id.Name)
-				}
-			case *ast.LetStmt:
-				out.kill(s.Name)
-			}
-		case NodeCond:
-			if f, ok := n.Stmt.(*ast.ForStmt); ok {
-				out.kill(f.Var)
-			}
-		}
-		return out
-	}
-	in := Solve[lockFact](g, locksLattice{}, ent, tf)
+	in := solveMustLocksets(g, entry, c.active)
 
 	// Reporting pass over the solved facts.
 	for i, n := range g.Nodes {

@@ -130,10 +130,40 @@ func DropStmt(p *ast.Program, n int) error {
 	return nil
 }
 
+// WrapRegion encloses the n-th critical region in a new outer region on
+// the first lock (in region order) with a different canonical object: the
+// body now acquires the outer lock before the inner one. The wrap neither
+// uncovers an access (the inner lock is still held) nor changes the
+// sync-stripped program, so coverage (E100–E102) and equivalence (E103)
+// stay clean; what it changes is the acquisition *order*. Applied to two
+// regions with opposite locks it seeds the classic AB-BA deadlock, which
+// only the lock-order analysis (OBL-E104) can flag.
+func WrapRegion(p *ast.Program, n int) error {
+	regions := collectRegions(p)
+	if n < 0 || n >= len(regions) {
+		return fmt.Errorf("analysis: wrap: region %d of %d does not exist", n, len(regions))
+	}
+	r := regions[n]
+	want := ast.ExprString(r.sb.Lock)
+	for _, other := range regions {
+		if ast.ExprString(other.sb.Lock) != want {
+			outer := &ast.SyncBlock{
+				P:    r.sb.P,
+				Lock: ast.CloneExpr(other.sb.Lock),
+				Body: &ast.Block{P: r.sb.P, Stmts: []ast.Stmt{r.sb}},
+			}
+			(*r.list)[r.idx] = outer
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: wrap: no region with a different lock than %s", want)
+}
+
 // Mutations names the mutation operators for drivers and test directives.
 var Mutations = map[string]func(*ast.Program, int) error{
 	"elide":    ElideRegion,
 	"swaplock": SwapLock,
 	"leak":     LeakRegion,
 	"drop":     DropStmt,
+	"wrap":     WrapRegion,
 }

@@ -125,6 +125,9 @@ func BuildUnit(src string) (*Unit, []Diagnostic, error) {
 //
 //   - lock-coverage translation validation of each policy clone and of each
 //     policy's view of the flag-dispatch program (OBL-E100/E101/E102),
+//   - static deadlock analysis of the same views: per-version lock-order
+//     graphs from the must-lockset dataflow with cycle detection
+//     (OBL-E104),
 //   - sync-stripped equivalence of every variant against the base
 //     (OBL-E103),
 //   - the lint checkers on the base program (OBL-W200/W201/W202, OBL-I301),
@@ -143,6 +146,7 @@ func (u *Unit) Validate() []Diagnostic {
 			continue
 		}
 		diags = append(diags, CheckCoverage(pu.Prog, info, string(pu.Policy), nil)...)
+		diags = append(diags, CheckLockOrder(pu.Prog, info, string(pu.Policy), nil)...)
 		diags = append(diags, CheckEquivalence(pu.Prog, u.Base, string(pu.Policy))...)
 		if pu.Policy == syncopt.Original {
 			diags = append(diags, ReportOpportunities(pu.Prog)...)
@@ -161,6 +165,7 @@ func (u *Unit) Validate() []Diagnostic {
 				p := policy
 				active := func(sb *ast.SyncBlock) bool { return u.Flags.ActiveFor(sb.Site, p) }
 				diags = append(diags, CheckCoverage(u.Flagged, finfo, "flagged:"+string(p), active)...)
+				diags = append(diags, CheckLockOrder(u.Flagged, finfo, "flagged:"+string(p), active)...)
 			}
 			diags = append(diags, CheckEquivalence(u.Flagged, u.Base, "flagged")...)
 		}

@@ -493,6 +493,7 @@ func (f *frw) decideExpansion(full string) *expandDecision {
 		}
 	}
 	var disable []Policy
+	//dfvet:allow detorder disableIn only deletes per-policy site entries; the result is order-insensitive
 	for p := range d.lock {
 		disable = append(disable, p)
 	}

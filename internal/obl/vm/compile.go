@@ -77,6 +77,7 @@ func flagStatics(p *ir.Program) []int8 {
 		return nil
 	}
 	vecs := make([][]bool, 0, len(p.FlagPolicies))
+	//dfvet:allow detorder per-site agreement over all vectors; the fold is order-insensitive
 	for _, vec := range p.FlagPolicies {
 		vecs = append(vecs, vec)
 	}

@@ -80,6 +80,7 @@ type Change struct {
 type Schedule struct {
 	// Name is cosmetic (reports, flags); it is excluded from the canonical
 	// encoding, so renaming a scenario does not invalidate cached runs.
+	//dfvet:fingerprint-exclude cosmetic label; renaming a scenario must not invalidate cached runs
 	Name string `json:"name,omitempty"`
 	// Resolution is the ramp discretization grid (default 10ms).
 	Resolution simmach.Time `json:"resolution_ns,omitempty"`
@@ -311,6 +312,8 @@ func (s *Schedule) Table(base simmach.Config) (*simmach.ParamTable, error) {
 // into the content address of a simulation, so two runs differing only in
 // their perturbation schedule never share a cache entry. The nil and empty
 // schedules encode identically.
+//
+//dfvet:fingerprint Schedule Change Slowdown
 func (s *Schedule) AppendCanonical(b []byte) []byte {
 	if s.Empty() {
 		return append(b, 0)

@@ -198,7 +198,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		start:    time.Now(),
+		start:    time.Now(), //dfvet:allow walltime server start stamp for live uptime reporting
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		byName:   map[string]*section{},
@@ -271,7 +271,7 @@ func (s *Server) registerMetrics() {
 		"Sections seeded from a store record (at boot or live from the fleet).",
 		func() float64 { return float64(s.warmHits.Load()) })
 	s.reg.GaugeFunc("dfserved_uptime_seconds",
-		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
+		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() }) //dfvet:allow walltime live uptime gauge; never feeds simulation results
 	s.runSeconds = s.reg.Histogram("dfserved_run_seconds",
 		"Wall-clock latency of workload runs.", metrics.DurationBuckets)
 	s.reg.GaugeVecFunc("dfserved_section_switches",
@@ -288,7 +288,7 @@ func (s *Server) registerMetrics() {
 	if rs, ok := s.cfg.Backend.(*store.ReplStore); ok {
 		s.reg.GaugeFunc("dfserved_store_sync_lag_seconds",
 			"Time since the replicated store last synchronized with the hub.",
-			func() float64 { return rs.Status().SyncLag(time.Now()).Seconds() })
+			func() float64 { return rs.Status().SyncLag(time.Now()).Seconds() }) //dfvet:allow walltime live replication-lag gauge against the hub clock
 		s.reg.GaugeFunc("dfserved_store_connected",
 			"1 while the replicated store is connected to the hub, 0 when partitioned.",
 			func() float64 {
@@ -362,7 +362,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         status,
 		"version":        buildinfo.Version(),
 		"go":             buildinfo.Runtime(),
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"uptime_seconds": time.Since(s.start).Seconds(), //dfvet:allow walltime live uptime in the status response
 		"sections":       len(s.secs),
 		"requests":       s.requests.Load(),
 		"runs_ok":        s.runsOK.Load(),
@@ -452,7 +452,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := map[string]any{
 		"server": map[string]any{
-			"uptime_seconds":  time.Since(s.start).Seconds(),
+			"uptime_seconds":  time.Since(s.start).Seconds(), //dfvet:allow walltime live uptime in the status response
 			"version":         buildinfo.Version(),
 			"requests":        s.requests.Load(),
 			"runs_ok":         s.runsOK.Load(),
@@ -470,7 +470,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"connected":        st.Connected,
 			"hub_seq":          st.HubSeq,
 			"pending_pushes":   st.Pending,
-			"sync_lag_seconds": st.SyncLag(time.Now()).Seconds(),
+			"sync_lag_seconds": st.SyncLag(time.Now()).Seconds(), //dfvet:allow walltime live replication lag in the status response
 		}
 	}
 	if s.cfg.Cache != nil {
@@ -582,9 +582,9 @@ func (s *Server) runSection(w http.ResponseWriter, r *http.Request, req runReque
 			return
 		}
 	}
-	start := time.Now()
+	start := time.Now() //dfvet:allow walltime wall latency of serving the request, observed into a histogram
 	reg.sec.Run(0, iters)
-	wall := time.Since(start)
+	wall := time.Since(start) //dfvet:allow walltime wall latency of serving the request, observed into a histogram
 	reg.mu.Unlock()
 
 	s.runSeconds.Observe(wall.Seconds())
@@ -708,7 +708,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 		opts.Policy = ""
 		opts.Procs = 1
 	}
-	start := time.Now()
+	start := time.Now() //dfvet:allow walltime wall latency of serving the request, observed into a histogram
 	var res *interp.Result
 	cached := false
 	key := ""
@@ -729,7 +729,7 @@ func (s *Server) runApp(w http.ResponseWriter, r *http.Request, req runRequest) 
 			s.cfg.Cache.Put(key, res)
 		}
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //dfvet:allow walltime wall latency of serving the request, observed into a histogram
 	s.runSeconds.Observe(wall.Seconds())
 
 	type appSectionJSON struct {

@@ -429,17 +429,19 @@ func (m *Machine) SetClock(i int, t Time) {
 
 // Run dispatches processors until every processor is Done. It returns an
 // error on deadlock (some processor blocked with nothing runnable).
+//
+//dfvet:noalloc
 func (m *Machine) Run() error {
 	if m.running {
 		panic("simmach: Run is not reentrant")
 	}
 	m.running = true
-	defer func() { m.running = false }()
+	defer func() { m.running = false }() //dfvet:allow noalloc once per Run call, not per dispatched event
 	for {
 		if m.ready.len() == 0 {
 			for _, p := range m.procs {
 				if p.status == Blocked {
-					return fmt.Errorf("simmach: deadlock: %s", m.stateString())
+					return fmt.Errorf("simmach: deadlock: %s", m.stateString()) //dfvet:allow noalloc terminal deadlock report; the machine stops here
 				}
 			}
 			return nil
@@ -483,6 +485,7 @@ func (m *Machine) Run() error {
 	}
 }
 
+//dfvet:noalloc
 func (m *Machine) push(p *Proc) {
 	if p.heapIdx >= 0 {
 		return
@@ -533,12 +536,14 @@ func (h *procHeap) before(a, b *Proc) bool {
 
 func (h *procHeap) len() int { return len(h.items) }
 
+//dfvet:noalloc
 func (h *procHeap) push(p *Proc) {
 	p.heapIdx = int32(len(h.items))
-	h.items = append(h.items, p)
+	h.items = append(h.items, p) //dfvet:allow noalloc amortized: the ready heap's backing array reaches steady capacity
 	h.up(int(p.heapIdx))
 }
 
+//dfvet:noalloc
 func (h *procHeap) pop() *Proc {
 	root := h.items[0]
 	n := len(h.items) - 1
@@ -555,6 +560,8 @@ func (h *procHeap) pop() *Proc {
 }
 
 // fix restores heap order after p's clock changed in place.
+//
+//dfvet:noalloc
 func (h *procHeap) fix(p *Proc) {
 	i := int(p.heapIdx)
 	h.up(i)
@@ -664,6 +671,8 @@ func (l *Lock) Held() bool { return l.owner >= 0 }
 // owning it (with waiting time and failed-attempt counts charged), and
 // execution continues after the Acquire call site. The caller's Step must
 // return Blocked when Acquire returns false.
+//
+//dfvet:noalloc
 func (p *Proc) Acquire(l *Lock) bool {
 	if l.owner == p.id {
 		panic(fmt.Sprintf("simmach: proc %d re-acquiring lock %q", p.id, l.name))
@@ -706,6 +715,8 @@ func (p *Proc) Acquire(l *Lock) bool {
 
 // enqueue appends p to the waiter queue, checking the FIFO-order
 // invariant (non-decreasing since, ties in increasing processor ID).
+//
+//dfvet:noalloc
 func (l *Lock) enqueue(p *Proc) {
 	if l.whead == len(l.waiters) {
 		// Queue drained: reuse the backing array and restore fast handoff.
@@ -719,11 +730,13 @@ func (l *Lock) enqueue(p *Proc) {
 			l.unordered = true
 		}
 	}
-	l.waiters = append(l.waiters, lockWaiter{p: p, since: p.clock})
+	l.waiters = append(l.waiters, lockWaiter{p: p, since: p.clock}) //dfvet:allow noalloc amortized: enqueue reuses the drained waiter array
 }
 
 // TryAcquire attempts to take the lock without blocking. On failure it
 // charges one failed spin attempt and returns false.
+//
+//dfvet:noalloc
 func (p *Proc) TryAcquire(l *Lock) bool {
 	if l.owner < 0 {
 		return p.Acquire(l)
@@ -738,6 +751,8 @@ func (p *Proc) TryAcquire(l *Lock) bool {
 
 // Release releases the lock, charging the release cost, and hands the lock
 // to the longest-waiting processor, if any.
+//
+//dfvet:noalloc
 func (p *Proc) Release(l *Lock) {
 	if l.owner != p.id {
 		panic(fmt.Sprintf("simmach: proc %d releasing lock %q owned by %d", p.id, l.name, l.owner))
@@ -804,6 +819,7 @@ func (p *Proc) Release(l *Lock) {
 	p.m.wake(wp)
 }
 
+//dfvet:noalloc
 func (m *Machine) wake(p *Proc) {
 	p.status = Ready
 	m.push(p)
@@ -873,6 +889,8 @@ func (b *Barrier) waitingIDs() []int {
 // and all participants (including p) are made runnable. Arrive always
 // blocks the caller; the caller's Step must return Blocked immediately
 // after calling it. Work after the barrier must be issued on the next Step.
+//
+//dfvet:noalloc
 func (p *Proc) BarrierArrive(b *Barrier) {
 	cur := b.epochs + 1
 	if b.arrivedEpoch[p.id] == cur {
